@@ -1,0 +1,85 @@
+//! Runs the design-choice ablation sweeps (DESIGN.md §5): MSR capacity,
+//! thread count, switch cost, aging multiplier, and DRAM-cache
+//! associativity.
+//!
+//! ```text
+//! cargo run --release -p astriflash-bench --bin ablations [--quick]
+//! ```
+
+use astriflash_bench::{us1, HarnessOpts};
+use astriflash_core::experiments::ablations;
+use astriflash_core::experiments::ablations::AblationPoint;
+use astriflash_stats::TextTable;
+use astriflash_workloads::WorkloadKind;
+
+fn print_sweep(title: &str, unit: &str, pts: &[AblationPoint]) {
+    println!("{title}");
+    let mut t = TextTable::new(&[unit, "throughput_jobs_s", "p99_service_us", "forced_sync"]);
+    for p in pts {
+        t.row_owned(vec![
+            if p.value.fract() == 0.0 {
+                format!("{}", p.value as u64)
+            } else {
+                format!("{:.1}", p.value)
+            },
+            format!("{:.0}", p.throughput),
+            us1(p.p99_service_ns),
+            p.forced_synchronous.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let base = opts.system_config().with_workload(WorkloadKind::Tatp);
+    let jobs = opts.jobs_per_core();
+
+    print_sweep(
+        "MSR capacity (entries; the paper's in-DRAM table vs SRAM-MSHR-class sizes, §IV-B2):",
+        "entries",
+        &ablations::msr_capacity(
+            &base,
+            &[(1, 4), (2, 8), (8, 8), (64, 8), (128, 8)],
+            jobs,
+            opts.seed,
+        ),
+    );
+
+    print_sweep(
+        "User-level threads per core (§V-A uses 32-64):",
+        "threads",
+        &ablations::thread_count(&base, &[2, 4, 8, 16, 32, 64], jobs, opts.seed),
+    );
+
+    print_sweep(
+        "Thread-switch cost (100 ns AstriFlash -> ~5 us OS switch, §II-C):",
+        "switch_ns",
+        &ablations::switch_cost(&base, &[0, 100, 500, 1_000, 2_500, 5_000], jobs, opts.seed),
+    );
+
+    print_sweep(
+        "Aging-threshold multiplier (starvation guard, §IV-D2):",
+        "multiplier",
+        &ablations::aging_multiplier(&base, &[1.0, 1.5, 2.0, 4.0, 8.0], jobs, opts.seed),
+    );
+
+    print_sweep(
+        "DRAM-cache associativity (paper: 8-way tag column, §IV-B1):",
+        "ways",
+        &ablations::dram_cache_ways(&base, &[1, 2, 4, 8, 16], jobs, opts.seed),
+    );
+
+    print_sweep(
+        "Flash provisioning (dies per channel; §II-A bandwidth rule):",
+        "dies",
+        &ablations::flash_provisioning(&base, &[1, 2, 4, 8, 16, 32], jobs, opts.seed),
+    );
+
+    print_sweep(
+        "TLB reach (L2 TLB entries; §IV-A translation pressure):",
+        "entries",
+        &ablations::tlb_reach(&base, &[64, 256, 1024, 1536, 4096], jobs, opts.seed),
+    );
+}

@@ -1,0 +1,79 @@
+//! Regenerates Fig. 9: simulated throughput of every configuration
+//! normalized to DRAM-only, per workload (§VI-A).
+//!
+//! ```text
+//! cargo run --release -p astriflash-bench --bin fig9 [--quick]
+//! ```
+
+use astriflash_bench::{f3, HarnessOpts};
+use astriflash_core::config::Configuration;
+use astriflash_core::experiments::fig9;
+use astriflash_stats::{CsvDoc, TextTable};
+use astriflash_workloads::WorkloadKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let base = opts.system_config();
+    let configs = Configuration::all();
+    let workloads = WorkloadKind::all();
+    let cells = fig9::run_matrix(
+        &base,
+        &workloads,
+        &configs,
+        opts.jobs_per_core(),
+        opts.seed,
+    );
+
+    println!("Fig. 9: throughput normalized to DRAM-only ({} cores)\n", base.cores);
+    let mut headers: Vec<&str> = vec!["workload"];
+    headers.extend(configs.iter().map(|c| c.name()));
+    let mut t = TextTable::new(&headers);
+    for wl in &workloads {
+        let mut row = vec![wl.name().to_string()];
+        for conf in &configs {
+            let cell = cells
+                .iter()
+                .find(|c| c.workload == wl.name() && c.configuration == *conf)
+                .expect("matrix cell");
+            row.push(f3(cell.normalized));
+        }
+        t.row_owned(row);
+    }
+    // Geometric-mean row.
+    let mut row = vec!["geomean".to_string()];
+    for conf in &configs {
+        row.push(f3(fig9::geomean_normalized(&cells, *conf)));
+    }
+    t.row_owned(row);
+    print!("{}", t.render());
+
+    let mut csv = CsvDoc::new(&[
+        "workload",
+        "configuration",
+        "throughput_jobs_per_sec",
+        "normalized",
+        "miss_interval_us",
+    ]);
+    for c in &cells {
+        csv.row_owned(vec![
+            c.workload.to_string(),
+            c.configuration.name().to_string(),
+            c.throughput.to_string(),
+            c.normalized.to_string(),
+            c.miss_interval_us.to_string(),
+        ]);
+    }
+    if csv.write_to("results/csv/fig9.csv").is_ok() {
+        println!("\n(matrix written to results/csv/fig9.csv)");
+    }
+
+    println!("\nobserved DRAM-cache miss intervals (us per core):");
+    for wl in &workloads {
+        let cell = cells
+            .iter()
+            .find(|c| c.workload == wl.name() && c.configuration == Configuration::AstriFlash)
+            .expect("cell");
+        println!("  {:<10} {:>6.1}", wl.name(), cell.miss_interval_us);
+    }
+    println!("\npaper anchors: AstriFlash ~0.95, AstriFlash-Ideal ~0.96, OS-Swap ~0.58, Flash-Sync ~0.27");
+}

@@ -1,0 +1,46 @@
+//! Footprint-cache extension study (§II-A): flash bandwidth saved per
+//! fetch vs sub-miss overhead, per workload.
+//!
+//! ```text
+//! cargo run --release -p astriflash-bench --bin footprint [--quick]
+//! ```
+
+use astriflash_bench::{f3, HarnessOpts};
+use astriflash_core::experiments::footprint;
+use astriflash_stats::TextTable;
+use astriflash_workloads::WorkloadKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let base = opts.system_config();
+    let workloads = [
+        WorkloadKind::Tatp,
+        WorkloadKind::HashTable,
+        WorkloadKind::Silo,
+        WorkloadKind::ArraySwap,
+    ];
+
+    println!("Footprint-cache extension (§II-A): fetch only predicted-hot blocks\n");
+    let mut t = TextTable::new(&[
+        "workload",
+        "bw_saved_per_fetch",
+        "extra_fetches",
+        "tput_ratio",
+    ]);
+    for wl in workloads {
+        let cmp = footprint::compare(
+            &base.clone().with_workload(wl),
+            opts.jobs_per_core(),
+            opts.seed,
+        );
+        t.row_owned(vec![
+            wl.name().to_string(),
+            format!("{:.0}%", cmp.bandwidth_saving() * 100.0),
+            format!("{:+.1}%", cmp.sub_miss_overhead() * 100.0),
+            f3(cmp.footprint_throughput / cmp.base_throughput),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nBandwidth saved shrinks the Eq. 1 flash-bandwidth requirement; the cost is");
+    println!("sub-miss refetches when a page's footprint grows between residencies.");
+}

@@ -1,0 +1,45 @@
+//! Full service-latency distributions (quantile tables) for every
+//! configuration — the data behind Table II's single p99 column.
+//!
+//! ```text
+//! cargo run --release -p astriflash-bench --bin latency_cdf [--quick]
+//! ```
+
+use astriflash_bench::{us1, HarnessOpts};
+use astriflash_core::config::Configuration;
+use astriflash_core::experiment::Experiment;
+use astriflash_stats::{Percentile, TextTable};
+use astriflash_workloads::WorkloadKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let base = opts.system_config().with_workload(WorkloadKind::Tatp);
+
+    println!("Service-latency quantiles (us), TATP at saturation:\n");
+    let mut headers = vec!["configuration", "mean"];
+    headers.extend(Percentile::all().iter().map(|p| match p {
+        Percentile::P50 => "p50",
+        Percentile::P90 => "p90",
+        Percentile::P95 => "p95",
+        Percentile::P99 => "p99",
+        Percentile::P999 => "p99.9",
+        Percentile::P9999 => "p99.99",
+    }));
+    let mut t = TextTable::new(&headers);
+    for conf in Configuration::all() {
+        let r = Experiment::new(base.clone(), conf)
+            .seed(opts.seed)
+            .jobs_per_core(opts.jobs_per_core())
+            .run();
+        let mut row = vec![
+            conf.name().to_string(),
+            format!("{:.1}", r.mean_service_ns / 1000.0),
+        ];
+        for p in Percentile::all() {
+            row.push(us1(r.service_hist.value_at(p)));
+        }
+        t.row_owned(row);
+    }
+    print!("{}", t.render());
+    println!("\nService time = dequeue to completion, flash waits included (SecV-A).");
+}

@@ -1,0 +1,36 @@
+//! Prints Table I: system parameters used for simulation, alongside the
+//! paper's QFlex parameters and this reproduction's scaled values.
+//!
+//! ```text
+//! cargo run --release -p astriflash-bench --bin table1
+//! ```
+
+use astriflash_core::config::SystemConfig;
+use astriflash_stats::TextTable;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let dc = cfg.dram_cache_config();
+    let flash = cfg.flash_config();
+    let h = &cfg.hierarchy;
+
+    println!("Table I: system parameters (paper value -> this reproduction)\n");
+    let mut t = TextTable::new(&["parameter", "paper (QFlex)", "this repo"]);
+    t.row(&["cores", "16x ARM Cortex-A76", &format!("{} modeled A76-class", cfg.cores)]);
+    t.row(&["ROB / SB", "128-entry ROB, 32-entry SB", "128-entry ROB, 32-entry SB (+ASO PRF)"]);
+    t.row(&["L1D", "64 KB", &format!("{} KB", h.l1_bytes >> 10)]);
+    t.row(&["L2 (per core)", "256 KB", &format!("{} KB", h.l2_bytes >> 10)]);
+    t.row(&["LLC", "1 MB per core", &format!("{} MB shared (scaled)", h.llc_bytes >> 20)]);
+    t.row(&["dataset", "256 GB (scaled from 1 TB)", &format!("{} GiB (scaled, see DESIGN.md)", cfg.workload_params.dataset_bytes >> 30)]);
+    t.row(&["DRAM cache", "8 GB (3%)", &format!("{} MiB (3%)", dc.capacity_bytes >> 20)]);
+    t.row(&["page size", "4 KB", "4 KiB"]);
+    t.row(&["cache block", "64 B", "64 B"]);
+    t.row(&["DRAM-cache ways", "8 (tag column)", &format!("{}", dc.ways)]);
+    t.row(&["flash read", "~50 us", &format!("{} us unloaded", flash.unloaded_read_ns() / 1000)]);
+    t.row(&["flash geometry", "PCIe SSDs, 60 GB/s-class", &format!("{} ch x {} dies x {} planes", flash.channels, flash.dies_per_channel, flash.planes_per_die)]);
+    t.row(&["thread switch", "100 ns", &format!("{} ns", cfg.switch_cost_ns)]);
+    t.row(&["threads/core", "32-64 (per workload)", "32-64 (workload hint)"]);
+    t.row(&["FC", "FSM, FR-FCFS, 1 cycle/command", "FR-FCFS banks, open-row tracking"]);
+    t.row(&["BC", "programmable, 3 cycles/command", "programmable model, MSR 64x8"]);
+    print!("{}", t.render());
+}

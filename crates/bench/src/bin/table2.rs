@@ -1,0 +1,40 @@
+//! Regenerates Table II: 99th-percentile service latency normalized to
+//! Flash-Sync (§VI-B).
+//!
+//! ```text
+//! cargo run --release -p astriflash-bench --bin table2 [--quick]
+//! ```
+
+use astriflash_bench::{us1, HarnessOpts};
+use astriflash_core::experiments::table2;
+use astriflash_stats::{CsvDoc, TextTable};
+use astriflash_workloads::WorkloadKind;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let base = opts.system_config().with_workload(WorkloadKind::Tatp);
+    let rows = table2::run(&base, opts.jobs_per_core(), opts.seed);
+
+    println!("Table II: p99 service latency normalized to Flash-Sync (TATP-class jobs)\n");
+    let mut t = TextTable::new(&["configuration", "p99_service_us", "normalized"]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.configuration.name().to_string(),
+            us1(r.p99_service_ns),
+            format!("{:.2}", r.normalized),
+        ]);
+    }
+    print!("{}", t.render());
+    let mut csv = CsvDoc::new(&["configuration", "p99_service_ns", "normalized"]);
+    for r in &rows {
+        csv.row_owned(vec![
+            r.configuration.name().to_string(),
+            r.p99_service_ns.to_string(),
+            r.normalized.to_string(),
+        ]);
+    }
+    if csv.write_to("results/csv/table2.csv").is_ok() {
+        println!("\n(rows written to results/csv/table2.csv)");
+    }
+    println!("\npaper anchors: AstriFlash ~1.02x, AstriFlash-noPS ~7x, AstriFlash-noDP ~1.7x");
+}

@@ -1,0 +1,100 @@
+//! Fig. 2: throughput of asynchronous flash access vs core count —
+//! ideal (no paging overhead) against traditional paging whose TLB
+//! shootdowns and OS synchronization do not scale (§II-C).
+//!
+//! The model: each core does `work_us` of useful execution per DRAM
+//! miss. Paging charges the faulting core its per-fault overhead *and*
+//! charges every other core the shootdown-responder interrupt for every
+//! fault in the system — the broadcast term that kills scalability.
+
+use astriflash_os::OsPagingCosts;
+
+/// The cost view of *traditional* paging used by Fig. 2: every mapping
+/// change broadcasts its own shootdown (no reclaim batching). The paper
+/// argues even batched shootdowns accumulate with core count (§II-C);
+/// the unbatched curve shows the mechanism cleanly.
+pub fn traditional_costs() -> OsPagingCosts {
+    OsPagingCosts {
+        evictions_per_shootdown: 1,
+        ..OsPagingCosts::default()
+    }
+}
+
+/// One point of the Fig. 2 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig2Point {
+    /// Core count.
+    pub cores: usize,
+    /// Ideal aggregate throughput (normalized jobs/µs).
+    pub ideal: f64,
+    /// AstriFlash-style async flash (ns-scale overhead).
+    pub astriflash: f64,
+    /// Traditional paging with broadcast shootdowns.
+    pub paging: f64,
+}
+
+/// Computes the sweep for the given per-miss work interval (µs).
+pub fn sweep(work_us: f64, core_counts: &[usize], costs: &OsPagingCosts) -> Vec<Fig2Point> {
+    assert!(work_us > 0.0);
+    core_counts
+        .iter()
+        .map(|&cores| {
+            // Ideal: every core completes one work interval per
+            // `work_us` — flash latency fully overlapped, no overhead.
+            let ideal = cores as f64 / work_us;
+
+            // AstriFlash: ~0.2 µs of switch + flush per miss.
+            let astri_overhead_us = 0.2;
+            let astriflash = cores as f64 / (work_us + astri_overhead_us);
+
+            // Paging: the faulting core pays its fault overhead; every
+            // core additionally absorbs responder interrupts from the
+            // (cores-1) other cores' fault streams.
+            let fault_us = costs.per_fault_overhead(cores).as_ns() as f64 / 1000.0;
+            let responder_us = costs.fault_breakdown(cores).responder_ns as f64 / 1000.0;
+            // Per work interval, each core receives one interrupt from
+            // each other core (they fault at the same rate).
+            let interrupt_load_us = responder_us * (cores as f64 - 1.0);
+            let paging = cores as f64 / (work_us + fault_us + interrupt_load_us);
+
+            Fig2Point {
+                cores,
+                ideal,
+                astriflash,
+                paging,
+            }
+        })
+        .collect()
+}
+
+/// Default core-count grid.
+pub fn default_core_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8, 16, 32, 64]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paging_does_not_scale() {
+        let pts = sweep(10.0, &default_core_counts(), &traditional_costs());
+        // Ideal scales linearly; paging's *efficiency* collapses.
+        let eff = |p: &Fig2Point| p.paging / p.ideal;
+        assert!(eff(&pts[0]) > 0.4);
+        assert!(eff(&pts[6]) < eff(&pts[0]) / 1.5, "no shootdown collapse");
+        // AstriFlash stays near ideal at every scale.
+        for p in &pts {
+            assert!(p.astriflash / p.ideal > 0.95);
+        }
+    }
+
+    #[test]
+    fn throughput_is_positive_and_ordered() {
+        let pts = sweep(10.0, &[16], &traditional_costs());
+        let p = pts[0];
+        assert!(p.ideal > p.astriflash);
+        assert!(p.astriflash > p.paging);
+        assert!(p.paging > 0.0);
+    }
+}

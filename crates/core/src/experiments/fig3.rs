@@ -1,0 +1,133 @@
+//! Fig. 3: analytical p99 latency (normalized to DRAM-only mean service
+//! time) vs throughput for the four systems (§III-A).
+//!
+//! Setup from the paper: every 10 µs of execution triggers a 50 µs flash
+//! access; OS-Swap pays 10 µs of paging overhead per access, AstriFlash
+//! ~0.2 µs. DRAM-only and Flash-Sync are M/M/1; AstriFlash and OS-Swap
+//! are M/M/k (logical multi-server).
+
+use crate::queueing::QueueModel;
+
+/// The four analytic systems of Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Systems {
+    /// DRAM-only M/M/1.
+    pub dram_only: QueueModel,
+    /// Synchronous flash M/M/1.
+    pub flash_sync: QueueModel,
+    /// OS-Swap M/M/k.
+    pub os_swap: QueueModel,
+    /// AstriFlash M/M/k.
+    pub astriflash: QueueModel,
+}
+
+impl Fig3Systems {
+    /// The paper's parameters: 10 µs work, 50 µs flash, 10 µs OS paging
+    /// overhead, ~0.2 µs AstriFlash overhead.
+    pub fn paper_defaults() -> Self {
+        Fig3Systems {
+            dram_only: QueueModel::for_system(10.0, 0.0, 0.0, false),
+            flash_sync: QueueModel::for_system(10.0, 0.0, 50.0, false),
+            os_swap: QueueModel::for_system(10.0, 10.0, 50.0, true),
+            astriflash: QueueModel::for_system(10.0, 0.2, 50.0, true),
+        }
+    }
+}
+
+/// One sweep point: p99 latencies normalized to the DRAM-only mean
+/// service time (10 µs) at a load normalized to DRAM-only saturation.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Point {
+    /// Offered load as a fraction of DRAM-only saturation throughput.
+    pub load: f64,
+    /// DRAM-only normalized p99 (None once saturated).
+    pub dram_only: Option<f64>,
+    /// Flash-Sync normalized p99.
+    pub flash_sync: Option<f64>,
+    /// OS-Swap normalized p99.
+    pub os_swap: Option<f64>,
+    /// AstriFlash normalized p99.
+    pub astriflash: Option<f64>,
+}
+
+fn norm_p99(m: &QueueModel, lambda: f64, base_service_us: f64) -> Option<f64> {
+    if m.rho(lambda) >= 0.995 {
+        None
+    } else {
+        Some(m.response_quantile(lambda, 0.99) / base_service_us)
+    }
+}
+
+/// Computes the Fig. 3 series over `loads` (fractions of DRAM-only
+/// saturation).
+pub fn sweep(systems: &Fig3Systems, loads: &[f64]) -> Vec<Fig3Point> {
+    let base = systems.dram_only.service_us;
+    let sat = systems.dram_only.saturation_throughput();
+    loads
+        .iter()
+        .map(|&load| {
+            let lambda = load * sat;
+            Fig3Point {
+                load,
+                dram_only: norm_p99(&systems.dram_only, lambda, base),
+                flash_sync: norm_p99(&systems.flash_sync, lambda, base),
+                os_swap: norm_p99(&systems.os_swap, lambda, base),
+                astriflash: norm_p99(&systems.astriflash, lambda, base),
+            }
+        })
+        .collect()
+}
+
+/// Default load grid (fractions of DRAM-only saturation).
+pub fn default_loads() -> Vec<f64> {
+    vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_ordering_matches_paper() {
+        let s = Fig3Systems::paper_defaults();
+        let dram = s.dram_only.saturation_throughput();
+        assert!(s.flash_sync.saturation_throughput() / dram < 0.2, ">80% degradation");
+        let osr = s.os_swap.saturation_throughput() / dram;
+        assert!((0.4..0.6).contains(&osr), "OS-Swap ~50%: {osr}");
+        assert!(s.astriflash.saturation_throughput() / dram > 0.9);
+    }
+
+    #[test]
+    fn astriflash_approaches_dram_latency_at_high_load() {
+        let s = Fig3Systems::paper_defaults();
+        let pts = sweep(&s, &[0.2, 0.8]);
+        // At low load AstriFlash pays the flash access in full...
+        let low = pts[0];
+        assert!(low.astriflash.unwrap() > low.dram_only.unwrap());
+        // ...but at high load queueing dominates and the gap shrinks.
+        let high = pts[1];
+        let gap_low = low.astriflash.unwrap() / low.dram_only.unwrap();
+        let gap_high = high.astriflash.unwrap() / high.dram_only.unwrap();
+        assert!(gap_high < gap_low, "gap should shrink with load");
+    }
+
+    #[test]
+    fn saturated_systems_report_none() {
+        let s = Fig3Systems::paper_defaults();
+        let pts = sweep(&s, &[0.5]);
+        // Flash-Sync saturates at ~17 % of DRAM load; at 50 % it is gone.
+        assert!(pts[0].flash_sync.is_none());
+        assert!(pts[0].dram_only.is_some());
+        // OS-Swap saturates at 50%.
+        assert!(pts[0].os_swap.is_none() || pts[0].os_swap.unwrap() > 10.0);
+    }
+
+    #[test]
+    fn latencies_normalized_to_dram_service() {
+        let s = Fig3Systems::paper_defaults();
+        let pts = sweep(&s, &[0.05]);
+        // At near-zero load DRAM-only p99 ≈ ln(100) ≈ 4.6x its mean.
+        let v = pts[0].dram_only.unwrap();
+        assert!((4.0..6.0).contains(&v), "p99/mean at low load was {v}");
+    }
+}

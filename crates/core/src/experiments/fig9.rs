@@ -1,0 +1,158 @@
+//! Fig. 9: simulated throughput of every configuration, normalized to
+//! DRAM-only, per workload (§VI-A).
+//!
+//! Paper results: AstriFlash ≈95 %, AstriFlash-Ideal ≈96 %,
+//! OS-Swap ≈58 %, Flash-Sync ≈27 % of DRAM-only on average.
+
+use crate::config::{Configuration, SystemConfig};
+use crate::experiment::Experiment;
+use astriflash_workloads::WorkloadKind;
+
+/// Normalized throughput of one (workload, configuration) cell.
+#[derive(Debug, Clone)]
+pub struct Fig9Cell {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Configuration.
+    pub configuration: Configuration,
+    /// Raw throughput, jobs/s.
+    pub throughput: f64,
+    /// Throughput normalized to the same workload's DRAM-only run.
+    pub normalized: f64,
+    /// Observed per-core DRAM-cache miss interval (µs).
+    pub miss_interval_us: f64,
+}
+
+/// Runs the Fig. 9 matrix for the given workloads and configurations.
+///
+/// Workloads run on parallel threads (each simulation is single-threaded
+/// and deterministic, so parallelism across workloads changes nothing
+/// but wall-clock time). Results are returned in `workloads` ×
+/// `configurations` order regardless of completion order.
+pub fn run_matrix(
+    base: &SystemConfig,
+    workloads: &[WorkloadKind],
+    configurations: &[Configuration],
+    jobs_per_core: u64,
+    seed: u64,
+) -> Vec<Fig9Cell> {
+    let run_workload = |wl: WorkloadKind| -> Vec<Fig9Cell> {
+        let cfg = base.clone().with_workload(wl);
+        let dram = Experiment::new(cfg.clone(), Configuration::DramOnly)
+            .seed(seed)
+            .jobs_per_core(jobs_per_core)
+            .run();
+        configurations
+            .iter()
+            .map(|&conf| {
+                let report = if conf == Configuration::DramOnly {
+                    None
+                } else {
+                    Some(
+                        Experiment::new(cfg.clone(), conf)
+                            .seed(seed)
+                            .jobs_per_core(jobs_per_core)
+                            .run(),
+                    )
+                };
+                let (tput, miss) = match &report {
+                    Some(r) => (r.throughput_jobs_per_sec, r.miss_interval_us),
+                    None => (dram.throughput_jobs_per_sec, dram.miss_interval_us),
+                };
+                Fig9Cell {
+                    workload: wl.name(),
+                    configuration: conf,
+                    throughput: tput,
+                    normalized: tput / dram.throughput_jobs_per_sec,
+                    miss_interval_us: miss,
+                }
+            })
+            .collect()
+    };
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|&wl| scope.spawn(move || run_workload(wl)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("workload thread panicked"))
+            .collect()
+    })
+}
+
+/// Geometric-mean normalized throughput of `configuration` across the
+/// matrix.
+pub fn geomean_normalized(cells: &[Fig9Cell], configuration: Configuration) -> f64 {
+    let vals: Vec<f64> = cells
+        .iter()
+        .filter(|c| c.configuration == configuration && c.normalized > 0.0)
+        .map(|c| c.normalized)
+        .collect();
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper_on_small_run() {
+        let base = SystemConfig::default()
+            .with_cores(2)
+            .scaled_for_tests()
+            // Enough threads that the pending queue is not the binding
+            // constraint at the tiny scale's high miss density.
+            .with_threads_per_core(32);
+        let cells = run_matrix(
+            &base,
+            &[WorkloadKind::HashTable],
+            &[
+                Configuration::DramOnly,
+                Configuration::AstriFlash,
+                Configuration::OsSwap,
+                Configuration::FlashSync,
+            ],
+            60,
+            11,
+        );
+        let get = |c: Configuration| {
+            cells
+                .iter()
+                .find(|x| x.configuration == c)
+                .unwrap()
+                .normalized
+        };
+        assert!((get(Configuration::DramOnly) - 1.0).abs() < 1e-9);
+        let astri = get(Configuration::AstriFlash);
+        let os = get(Configuration::OsSwap);
+        let sync = get(Configuration::FlashSync);
+        assert!(astri > os, "AstriFlash {astri} should beat OS-Swap {os}");
+        assert!(os > sync, "OS-Swap {os} should beat Flash-Sync {sync}");
+    }
+
+    #[test]
+    fn geomean_of_identity_is_one() {
+        let cells = vec![
+            Fig9Cell {
+                workload: "a",
+                configuration: Configuration::DramOnly,
+                throughput: 10.0,
+                normalized: 1.0,
+                miss_interval_us: f64::INFINITY,
+            },
+            Fig9Cell {
+                workload: "b",
+                configuration: Configuration::DramOnly,
+                throughput: 20.0,
+                normalized: 1.0,
+                miss_interval_us: f64::INFINITY,
+            },
+        ];
+        assert!((geomean_normalized(&cells, Configuration::DramOnly) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Footprint-cache extension study (§II-A: "To reduce the bandwidth
+//! requirements further, we can ... use optimizations such as Footprint
+//! Cache").
+//!
+//! Compares AstriFlash with and without footprint fetching: flash bytes
+//! moved, sub-miss rate, and throughput. The win is bandwidth —
+//! footprints fetch only the blocks a page's last residency touched —
+//! at the cost of occasional sub-misses when the prediction was short.
+
+use crate::config::{Configuration, SystemConfig};
+use crate::experiment::Experiment;
+
+/// Results of one footprint-vs-baseline comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct FootprintComparison {
+    /// Baseline (full-page fetch) throughput, jobs/s.
+    pub base_throughput: f64,
+    /// Footprint-mode throughput, jobs/s.
+    pub footprint_throughput: f64,
+    /// Baseline flash read traffic, bytes.
+    pub base_read_bytes: u64,
+    /// Footprint-mode flash read traffic, bytes.
+    pub footprint_read_bytes: u64,
+    /// Flash reads in baseline mode (misses only).
+    pub base_reads: u64,
+    /// Flash reads in footprint mode (misses + sub-miss refetches).
+    pub footprint_reads: u64,
+}
+
+impl FootprintComparison {
+    /// Fraction of flash read bandwidth saved by footprints, normalized
+    /// per flash read (bandwidth per fetch, so differing run lengths and
+    /// sub-miss refetches are accounted for).
+    pub fn bandwidth_saving(&self) -> f64 {
+        let base = self.base_read_bytes as f64 / self.base_reads.max(1) as f64;
+        let fp = self.footprint_read_bytes as f64 / self.footprint_reads.max(1) as f64;
+        1.0 - fp / base
+    }
+
+    /// Extra flash reads caused by sub-miss refetches, per baseline read.
+    pub fn sub_miss_overhead(&self) -> f64 {
+        self.footprint_reads as f64 / self.base_reads.max(1) as f64 - 1.0
+    }
+}
+
+/// Runs the comparison on `base`'s workload.
+pub fn compare(base: &SystemConfig, jobs_per_core: u64, seed: u64) -> FootprintComparison {
+    let run = |footprint: bool| {
+        Experiment::new(
+            base.clone().with_footprint_cache(footprint),
+            Configuration::AstriFlash,
+        )
+        .seed(seed)
+        .jobs_per_core(jobs_per_core)
+        .run()
+    };
+    let baseline = run(false);
+    let fp = run(true);
+    FootprintComparison {
+        base_throughput: baseline.throughput_jobs_per_sec,
+        footprint_throughput: fp.throughput_jobs_per_sec,
+        base_read_bytes: baseline.metrics.count("flash_read_bytes").unwrap_or(0),
+        footprint_read_bytes: fp.metrics.count("flash_read_bytes").unwrap_or(0),
+        base_reads: baseline.metrics.count("flash_reads").unwrap_or(1),
+        footprint_reads: fp.metrics.count("flash_reads").unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprints_cut_bytes_per_fetch() {
+        let base = SystemConfig::default()
+            .with_cores(2)
+            .scaled_for_tests()
+            .with_threads_per_core(24);
+        let cmp = compare(&base, 80, 5);
+        assert!(cmp.base_reads > 0 && cmp.footprint_reads > 0);
+        assert!(
+            cmp.bandwidth_saving() > 0.1,
+            "footprints should save bandwidth per fetch: {:.3}",
+            cmp.bandwidth_saving()
+        );
+        // Throughput must not collapse from sub-misses.
+        assert!(
+            cmp.footprint_throughput > cmp.base_throughput * 0.7,
+            "footprint throughput {} vs base {}",
+            cmp.footprint_throughput,
+            cmp.base_throughput
+        );
+    }
+}

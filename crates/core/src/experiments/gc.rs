@@ -1,0 +1,77 @@
+//! §VI-D: garbage-collection blocking vs flash capacity.
+//!
+//! The paper: GC blocks ~4 % of requests on a 256 GB device; a 1 TB
+//! device (4× the chips) blocks >4× fewer. We reproduce the direction by
+//! sweeping device parallelism under a fixed read/write load.
+
+use astriflash_flash::{FlashConfig, FlashDevice};
+use astriflash_sim::{SimDuration, SimRng, SimTime};
+
+/// One capacity point.
+#[derive(Debug, Clone, Copy)]
+pub struct GcPoint {
+    /// Relative capacity multiplier (1 = baseline).
+    pub capacity_multiplier: usize,
+    /// Fraction of reads blocked by in-progress GC.
+    pub blocked_fraction: f64,
+    /// GC erase operations performed.
+    pub gc_erases: u64,
+}
+
+/// Runs the sweep: the same absolute request stream against devices of
+/// growing capacity (more planes).
+pub fn sweep(multipliers: &[usize], requests: u64, write_fraction: f64, seed: u64) -> Vec<GcPoint> {
+    multipliers
+        .iter()
+        .map(|&mult| {
+            let cfg = FlashConfig {
+                capacity_bytes: (64 << 20) * mult as u64,
+                channels: 2 * mult,
+                dies_per_channel: 2,
+                planes_per_die: 1,
+                pages_per_block: 64,
+                ..FlashConfig::default()
+            };
+            let mut dev = FlashDevice::new(cfg, seed);
+            let pages = dev.config().num_logical_pages();
+            let mut rng = SimRng::new(seed ^ 0x6C);
+            let mut now = SimTime::ZERO;
+            // A hot write working set (1/4 of the smallest device)
+            // keeps GC active regardless of size: victims always hold a
+            // mix of live and dead pages.
+            // The arrival rate is fixed, so growing the device spreads
+            // the same load over more planes — the paper's "more chips"
+            // argument (§VI-D).
+            let hot_pages = (16 << 20) / 4096;
+            for _ in 0..requests {
+                now += SimDuration::from_us(60);
+                if rng.gen_bool(write_fraction) {
+                    dev.write(now, rng.gen_range(hot_pages));
+                }
+                dev.read(now, rng.gen_range(pages));
+            }
+            GcPoint {
+                capacity_multiplier: mult,
+                blocked_fraction: dev.stats().gc_blocked_fraction(),
+                gc_erases: dev.stats().gc_erases,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_device_blocks_fewer_reads() {
+        let pts = sweep(&[1, 4], 60_000, 0.5, 9);
+        assert!(pts[0].gc_erases > 0, "baseline must garbage collect");
+        assert!(
+            pts[1].blocked_fraction <= pts[0].blocked_fraction,
+            "4x capacity should not block more: {} -> {}",
+            pts[0].blocked_fraction,
+            pts[1].blocked_fraction
+        );
+    }
+}

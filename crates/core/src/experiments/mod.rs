@@ -1,0 +1,15 @@
+//! Per-figure/table experiment drivers (DESIGN.md §5).
+//!
+//! Each module produces the data series of one paper artifact; the
+//! `astriflash-bench` binaries print them, and integration tests assert
+//! the paper's qualitative shapes.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig9;
+pub mod footprint;
+pub mod fig10;
+pub mod gc;
+pub mod table2;

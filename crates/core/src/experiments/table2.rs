@@ -1,0 +1,70 @@
+//! Table II: p99 *service* latency normalized to Flash-Sync (§VI-B).
+//!
+//! Paper: AstriFlash ≈1.02×, AstriFlash-noPS ≈7×, AstriFlash-noDP
+//! ≈1.7× the Flash-Sync p99 service latency. Flash-Sync is the ideal
+//! reference because a job's service time there is exactly its work plus
+//! its flash waits — no scheduling delay.
+
+use crate::config::{Configuration, SystemConfig};
+use crate::experiment::Experiment;
+
+/// One row of Table II.
+#[derive(Debug, Clone, Copy)]
+pub struct Table2Row {
+    /// Configuration.
+    pub configuration: Configuration,
+    /// p99 service latency (ns).
+    pub p99_service_ns: u64,
+    /// Normalized to the Flash-Sync row.
+    pub normalized: f64,
+}
+
+/// Runs the Table II comparison.
+pub fn run(base: &SystemConfig, jobs_per_core: u64, seed: u64) -> Vec<Table2Row> {
+    let configs = [
+        Configuration::FlashSync,
+        Configuration::AstriFlash,
+        Configuration::AstriFlashNoPS,
+        Configuration::AstriFlashNoDP,
+    ];
+    let reports: Vec<_> = configs
+        .iter()
+        .map(|&c| {
+            (
+                c,
+                Experiment::new(base.clone(), c)
+                    .seed(seed)
+                    .jobs_per_core(jobs_per_core)
+                    .run(),
+            )
+        })
+        .collect();
+    let reference = reports[0].1.p99_service_ns.max(1) as f64;
+    reports
+        .into_iter()
+        .map(|(configuration, r)| Table2Row {
+            configuration,
+            p99_service_ns: r.p99_service_ns,
+            normalized: r.p99_service_ns as f64 / reference,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn astriflash_close_to_flash_sync_nops_much_worse() {
+        let base = SystemConfig::default().with_cores(2).scaled_for_tests();
+        let rows = run(&base, 80, 31);
+        let get = |c: Configuration| rows.iter().find(|r| r.configuration == c).unwrap();
+        assert!((get(Configuration::FlashSync).normalized - 1.0).abs() < 1e-9);
+        let astri = get(Configuration::AstriFlash).normalized;
+        let nops = get(Configuration::AstriFlashNoPS).normalized;
+        assert!(
+            nops > astri,
+            "noPS ({nops}) must degrade service p99 vs AstriFlash ({astri})"
+        );
+    }
+}

@@ -1,0 +1,1069 @@
+//! The full-system simulator: cores, user-level scheduling, on-chip
+//! caches, DRAM cache (FC + BC + MSR), flash, TLBs and page-table walks,
+//! composed per configuration (§V-B).
+//!
+//! # Modeling notes
+//!
+//! Cores execute synchronously in bounded *slices* (a few µs of
+//! lookahead), claiming DRAM-bank and flash time as they go; slices are
+//! stitched together by `Resume` events. Cross-core causality error is
+//! bounded by the slice length and only affects bank-contention
+//! ordering, which is a second-order effect at these timescales.
+//!
+//! On a DRAM-cache miss the paper *reclaims* the request's resources in
+//! the cache hierarchy (§IV-C1); we mirror that by invalidating the
+//! just-filled block so the retry after the flash refill re-probes the
+//! DRAM cache.
+//!
+//! DRAM-cache *evictions* do not invalidate on-chip copies of the
+//! evicted page: victims are LRU-cold, so live on-chip copies are
+//! vanishingly rare, and skipping the 64-block invalidation sweep keeps
+//! the hot path cheap (an inclusive implementation would shave at most
+//! a handful of optimistic on-chip hits per million accesses).
+
+use std::collections::{HashMap, VecDeque};
+
+use astriflash_cpu::{ArchState, OooTiming, Privilege, Rob, StoreBuffer};
+use astriflash_flash::FlashDevice;
+use astriflash_mem::{
+    BacksideController, BcAdmission, CacheHierarchy, DramBanks, DramCache, DramTimings,
+    HierarchyOutcome, ProbeOutcome, Waiter,
+};
+use astriflash_os::tlb::TlbResult;
+use astriflash_os::{PageTableWalker, Tlb};
+use astriflash_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use astriflash_stats::{Histogram, OnlineStats};
+use astriflash_uthread::{Completion, MissPark, NotificationQueue, Pick, Policy, Scheduler};
+use astriflash_workloads::{JobSpec, PoissonArrivals, WorkloadEngine, PAGE_SIZE};
+
+use crate::config::{Configuration, SystemConfig};
+
+/// Execution-slice lookahead bound.
+const SLICE_NS: u64 = 4_000;
+/// Retry delay when the MSR rejects an admission (set full).
+const MSR_RETRY_NS: u64 = 2_000;
+
+#[derive(Debug)]
+enum Event {
+    /// Continue executing on a core.
+    Resume { core: usize },
+    /// A page arrived from flash; install + notify waiters.
+    PageArrived { page: u64 },
+    /// Open-loop job arrival for a core.
+    Arrival { core: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Running,
+    /// Parked in the scheduler's pending queue (switch-on-miss / OS-Swap).
+    Parked,
+    /// Core is blocked waiting for this thread's page (Flash-Sync,
+    /// forward progress, queue-full, page-table walks).
+    BlockedOnPage(u64),
+}
+
+#[derive(Debug)]
+struct Thread {
+    job: JobSpec,
+    op_idx: usize,
+    access_idx: usize,
+    arrived_at: SimTime,
+    started_at: SimTime,
+    state: ThreadState,
+    /// Whether the current operation's compute has been charged.
+    compute_done: bool,
+    /// When the thread was parked (for park-delay accounting).
+    parked_at: SimTime,
+    /// Forward-progress bit: the next miss must complete synchronously.
+    forced: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CoreStats {
+    jobs_done: u64,
+    dram_cache_misses: u64,
+    thread_switches: u64,
+    switch_overhead_ns: u64,
+    blocked_ns: u64,
+    forced_synchronous: u64,
+    pt_walk_flash_reads: u64,
+    busy_ns: u64,
+    idle_picks: u64,
+}
+
+struct Core {
+    scheduler: Scheduler,
+    /// BC → core completion notifications (§IV-D2): produced on page
+    /// arrival, drained at every scheduling decision.
+    notifications: NotificationQueue,
+    tlb: Tlb,
+    rob: Rob,
+    sb: StoreBuffer,
+    arch: ArchState,
+    timing: OooTiming,
+    threads: Vec<Option<Thread>>,
+    running: Option<usize>,
+    /// Arrival timestamps of queued (not yet started) jobs.
+    job_queue: VecDeque<SimTime>,
+    /// Interrupt time (shootdown responder cost) to charge on the next
+    /// execution slice.
+    pending_penalty_ns: u64,
+    /// Whether a Resume event is already in flight for this core.
+    resume_pending: bool,
+    stats: CoreStats,
+}
+
+impl Core {
+    fn free_slot(&self) -> Option<usize> {
+        self.threads.iter().position(Option::is_none)
+    }
+
+    fn has_new_work(&self, closed_loop: bool) -> bool {
+        (closed_loop || !self.job_queue.is_empty()) && self.free_slot().is_some()
+    }
+}
+
+/// Aggregate run statistics exposed to [`crate::experiment`].
+#[derive(Debug)]
+pub struct SystemStats {
+    /// Jobs completed after warmup.
+    pub measured_jobs: u64,
+    /// All jobs completed (including warmup).
+    pub total_jobs: u64,
+    /// Service-time distribution (ns): dequeue → completion, flash waits
+    /// included, queueing excluded (§V-A).
+    pub service_ns: Histogram,
+    /// Response-time distribution (ns): arrival → completion.
+    pub response_ns: Histogram,
+    /// When measurement began.
+    pub measuring_since: SimTime,
+    /// When the run ended (last completion / cap).
+    pub ended_at: SimTime,
+    /// DRAM-cache misses observed after warmup.
+    pub dram_cache_misses: u64,
+    /// Thread/context switches performed.
+    pub switches: u64,
+    /// Aggregate switch overhead (ns).
+    pub switch_overhead_ns: u64,
+    /// Core-time lost blocked on synchronous flash (ns).
+    pub blocked_ns: u64,
+    /// Forward-progress synchronous completions.
+    pub forced_synchronous: u64,
+    /// Page-table walk reads served from flash (noDP pathology).
+    pub pt_walk_flash_reads: u64,
+    /// Streaming moments of service time (for CV reporting; §III-A's
+    /// queueing model assumes near-memoryless service).
+    pub service_stats: OnlineStats,
+    /// Distribution of park→resume delays (ns).
+    pub park_ns: Histogram,
+    /// Distribution of flash read latencies as observed by the BC (ns).
+    pub flash_read_ns: Histogram,
+    /// Aggregate core busy time (ns) across cores.
+    pub busy_ns: u64,
+    /// Scheduler picks that found nothing runnable.
+    pub idle_picks: u64,
+    /// Backside-controller admissions stalled on a full MSR set.
+    pub msr_stalls: u64,
+    /// High-water mark of concurrent DRAM-cache misses in the MSR.
+    pub msr_max_occupancy: usize,
+    /// Flash page reads issued.
+    pub flash_reads: u64,
+    /// Bytes moved from flash by reads.
+    pub flash_read_bytes: u64,
+    /// Dirty-page writebacks to flash.
+    pub flash_writebacks: u64,
+}
+
+/// The composed full-system simulator.
+pub struct SystemSim {
+    cfg: SystemConfig,
+    configuration: Configuration,
+    queue: EventQueue<Event>,
+    rng: SimRng,
+    engine: Box<dyn WorkloadEngine>,
+    hierarchy: CacheHierarchy,
+    dram_cache: DramCache,
+    main_memory: DramBanks,
+    bc: BacksideController,
+    flash: FlashDevice,
+    walker: PageTableWalker,
+    cores: Vec<Core>,
+    closed_loop: bool,
+    arrivals: Option<PoissonArrivals>,
+    next_arrival_core: usize,
+    jobs_target: u64,
+    warmup_jobs: u64,
+    total_jobs: u64,
+    measured_jobs: u64,
+    measuring_since: SimTime,
+    service_ns: Histogram,
+    response_ns: Histogram,
+    service_stats: OnlineStats,
+    park_ns: Histogram,
+    flash_read_ns: Histogram,
+    /// Footprint bitmap of each in-flight flash read (footprint mode).
+    inflight_footprints: HashMap<u64, u64>,
+    stopped: bool,
+    max_time: SimTime,
+}
+
+impl SystemSim {
+    /// Builds the system for `configuration`, seeding every component
+    /// deterministically from `seed`.
+    pub fn new(cfg: SystemConfig, configuration: Configuration, seed: u64) -> Self {
+        cfg.validate();
+        let rng = SimRng::new(seed);
+        let mut engine = cfg.workload.build(&cfg.workload_params, seed ^ 0xE17);
+        let threads_per_core =
+            cfg.effective_threads_per_core(engine.threads_per_core_hint());
+        let pending_cap = cfg
+            .pending_queue_capacity
+            .unwrap_or_else(|| threads_per_core.saturating_sub(1).max(1));
+
+        let policy = match configuration {
+            Configuration::AstriFlashNoPS => Policy::Fifo,
+            _ => Policy::PriorityAging,
+        };
+        let mut cores = Vec::with_capacity(cfg.cores);
+        for _ in 0..cfg.cores {
+            let mut arch = ArchState::new();
+            // The runtime installs the scheduler handler via a verifying
+            // syscall at startup (§IV-C2).
+            arch.set_handler(0xFFFF_8000_0000_0000, Privilege::Kernel)
+                .expect("kernel installs the handler");
+            cores.push(Core {
+                scheduler: Scheduler::new(policy, pending_cap)
+                    .with_aging_multiplier(cfg.aging_multiplier),
+                notifications: NotificationQueue::new(2 * threads_per_core),
+                tlb: Tlb::new(cfg.tlb_geometry.0, cfg.tlb_geometry.1),
+                rob: Rob::a76(),
+                sb: StoreBuffer::a76_aso(),
+                arch,
+                timing: OooTiming::default(),
+                threads: (0..threads_per_core).map(|_| None).collect(),
+                running: None,
+                job_queue: VecDeque::new(),
+                pending_penalty_ns: 0,
+                resume_pending: false,
+                stats: CoreStats::default(),
+            });
+        }
+
+        let dataset_bytes = cfg.workload_params.dataset_bytes;
+        let dram_cache_cfg = cfg.dram_cache_config();
+        // Prewarm the DRAM cache to its steady-state content: replay the
+        // page stream of a batch of jobs through an LRU of the same
+        // capacity and install the survivors (coldest first).
+        let mut warm_rng = SimRng::new(seed ^ 0x77A7);
+        let capacity = dram_cache_cfg.capacity_pages() as usize;
+        let mut lru = astriflash_mem::PageLru::new(capacity);
+        let mut recency: Vec<u64> = Vec::new();
+        let target_touches = capacity * 8;
+        let mut touches = 0usize;
+        while touches < target_touches {
+            let job = engine.next_job(&mut warm_rng);
+            for a in job.accesses() {
+                let page = a.addr / PAGE_SIZE;
+                if !lru.access(page) {
+                    recency.push(page);
+                }
+                touches += 1;
+            }
+        }
+        let resident: Vec<u64> = recency
+            .iter()
+            .rev()
+            .filter(|p| lru.contains(**p))
+            .take(capacity)
+            .copied()
+            .collect();
+        let dram_cache =
+            DramCache::prewarmed(dram_cache_cfg, resident.into_iter().rev());
+
+        let (msr_sets, msr_ways) = cfg.msr_geometry;
+        let bc = BacksideController::new(msr_sets, msr_ways, 2);
+        let flash = FlashDevice::new(cfg.flash_config(), seed ^ 0xF1);
+        let pt_base = dataset_bytes;
+        let walker = PageTableWalker::new(pt_base, cfg.page_table_region_bytes() / 4096);
+        let hierarchy = CacheHierarchy::new(cfg.cores, cfg.hierarchy.clone());
+        let max_time = SimTime::from_ms(cfg.max_sim_time_ms);
+
+        SystemSim {
+            cfg,
+            configuration,
+            queue: EventQueue::new(),
+            rng,
+            engine,
+            hierarchy,
+            dram_cache,
+            main_memory: DramBanks::new(32, DramTimings::default()),
+            bc,
+            flash,
+            walker,
+            cores,
+            closed_loop: true,
+            arrivals: None,
+            next_arrival_core: 0,
+            jobs_target: 0,
+            warmup_jobs: 0,
+            total_jobs: 0,
+            measured_jobs: 0,
+            measuring_since: SimTime::ZERO,
+            service_ns: Histogram::new(),
+            response_ns: Histogram::new(),
+            service_stats: OnlineStats::new(),
+            park_ns: Histogram::new(),
+            flash_read_ns: Histogram::new(),
+            inflight_footprints: HashMap::new(),
+            stopped: false,
+            max_time,
+        }
+    }
+
+    /// The configuration being simulated.
+    pub fn configuration(&self) -> Configuration {
+        self.configuration
+    }
+
+    fn switch_cost_ns(&self) -> u64 {
+        match self.configuration {
+            Configuration::AstriFlashIdeal => 0,
+            Configuration::OsSwap => self.cfg.os_costs.context_switch_ns,
+            _ => self.cfg.switch_cost_ns,
+        }
+    }
+
+    /// Runs closed-loop to saturation: every core keeps its thread slots
+    /// full from an infinite job queue. Measures `jobs_per_core` jobs per
+    /// core after warming up with `warmup_fraction` extra jobs.
+    pub fn run_closed_loop(mut self, jobs_per_core: u64) -> SystemStats {
+        self.closed_loop = true;
+        let measured_target = jobs_per_core * self.cfg.cores as u64;
+        self.warmup_jobs = ((measured_target as f64 * self.cfg.warmup_fraction) as u64).max(1);
+        self.jobs_target = self.warmup_jobs + measured_target;
+        for core in 0..self.cfg.cores {
+            self.schedule_resume(core, SimTime::ZERO);
+        }
+        self.event_loop();
+        self.finish()
+    }
+
+    /// Runs open-loop with Poisson arrivals of the given mean
+    /// inter-arrival time (system-wide) until `total_jobs` complete.
+    pub fn run_open_loop(mut self, mean_interarrival_ns: f64, total_jobs: u64) -> SystemStats {
+        self.closed_loop = false;
+        self.warmup_jobs = ((total_jobs as f64 * self.cfg.warmup_fraction) as u64).max(1);
+        self.jobs_target = self.warmup_jobs + total_jobs;
+        let mut arrivals = PoissonArrivals::new(mean_interarrival_ns);
+        let first = arrivals.next_arrival(&mut self.rng);
+        self.arrivals = Some(arrivals);
+        let core = self.next_arrival_core;
+        self.queue.schedule(first, Event::Arrival { core });
+        self.event_loop();
+        self.finish()
+    }
+
+    fn finish(self) -> SystemStats {
+        let mut stats = SystemStats {
+            measured_jobs: self.measured_jobs,
+            total_jobs: self.total_jobs,
+            service_ns: self.service_ns,
+            response_ns: self.response_ns,
+            measuring_since: self.measuring_since,
+            ended_at: self.queue.now(),
+            dram_cache_misses: 0,
+            switches: 0,
+            switch_overhead_ns: 0,
+            blocked_ns: 0,
+            forced_synchronous: 0,
+            pt_walk_flash_reads: 0,
+            busy_ns: 0,
+            idle_picks: 0,
+            msr_stalls: self.bc.stats().stalls,
+            msr_max_occupancy: self.bc.msr().max_occupancy(),
+            flash_reads: self.flash.stats().reads,
+            flash_read_bytes: self.flash.stats().read_bytes,
+            flash_writebacks: self.bc.stats().writebacks,
+            service_stats: self.service_stats,
+            park_ns: self.park_ns,
+            flash_read_ns: self.flash_read_ns,
+        };
+        for c in &self.cores {
+            stats.dram_cache_misses += c.stats.dram_cache_misses;
+            stats.switches += c.stats.thread_switches;
+            stats.switch_overhead_ns += c.stats.switch_overhead_ns;
+            stats.blocked_ns += c.stats.blocked_ns;
+            stats.forced_synchronous += c.stats.forced_synchronous;
+            stats.pt_walk_flash_reads += c.stats.pt_walk_flash_reads;
+            stats.busy_ns += c.stats.busy_ns;
+            stats.idle_picks += c.stats.idle_picks;
+        }
+        stats
+    }
+
+    /// End-of-run simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    fn event_loop(&mut self) {
+        while !self.stopped {
+            let Some((now, event)) = self.queue.pop() else {
+                break;
+            };
+            if now > self.max_time {
+                break;
+            }
+            match event {
+                Event::Resume { core } => {
+                    self.cores[core].resume_pending = false;
+                    self.run_core(core);
+                }
+                Event::PageArrived { page } => self.on_page_arrived(page),
+                Event::Arrival { core } => self.on_arrival(core),
+            }
+        }
+    }
+
+    fn schedule_resume(&mut self, core: usize, at: SimTime) {
+        if !self.cores[core].resume_pending {
+            self.cores[core].resume_pending = true;
+            self.queue.schedule(at.max(self.queue.now()), Event::Resume { core });
+        }
+    }
+
+    fn on_arrival(&mut self, core: usize) {
+        let now = self.queue.now();
+        self.cores[core].job_queue.push_back(now);
+        // Schedule the next arrival on a uniformly random core: thinning
+        // a Poisson process keeps each core's arrivals Poisson, which is
+        // what the tail-latency model assumes (§VI-C). Round-robin would
+        // smooth per-core arrivals into Erlang-k and flatten the tails.
+        if let Some(arrivals) = &mut self.arrivals {
+            let t = arrivals.next_arrival(&mut self.rng);
+            let target = self.rng.gen_range(self.cores.len() as u64) as usize;
+            self.next_arrival_core = target;
+            self.queue.schedule(t, Event::Arrival { core: target });
+        }
+        if self.cores[core].running.is_none() {
+            self.schedule_resume(core, now);
+        }
+    }
+
+    fn on_page_arrived(&mut self, page: u64) {
+        let now = self.queue.now();
+        let bitmap = self.inflight_footprints.remove(&page).unwrap_or(u64::MAX);
+        let (completion, dirty_victim) =
+            self.bc
+                .complete_with_footprint(now, page, bitmap, &mut self.dram_cache);
+        if let Some(victim) = dirty_victim {
+            // Dirty writeback off the critical path (§IV-B2); flash
+            // tracks the program + any GC it triggers.
+            self.flash.write(completion.installed_at, victim);
+        }
+        for w in completion.waiters {
+            let core = w.core as usize;
+            let thread = w.thread as usize;
+            let installed = completion.installed_at;
+            let Some(t) = self.cores[core].threads[thread].as_mut() else {
+                continue;
+            };
+            match t.state {
+                ThreadState::Parked => {
+                    // Post the completion on the core's queue pair; the
+                    // scheduler reads it at its next decision point. A
+                    // doorbell wakes idle cores. Overflowed entries are
+                    // recovered by the aging guard.
+                    self.cores[core].notifications.push(Completion {
+                        thread: w.thread,
+                        page,
+                    });
+                    if self.cores[core].running.is_none() {
+                        self.schedule_resume(core, installed);
+                    }
+                }
+                ThreadState::BlockedOnPage(p) if p == page => {
+                    let since = t.parked_at;
+                    t.state = ThreadState::Running;
+                    debug_assert_eq!(self.cores[core].running, Some(thread));
+                    self.cores[core].stats.blocked_ns +=
+                        installed.saturating_since(since).as_ns();
+                    self.schedule_resume(core, installed);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Picks the next thread for an idle core and starts executing.
+    fn run_core(&mut self, core_id: usize) {
+        if self.stopped {
+            return;
+        }
+        let now = self.queue.now();
+        if self.cores[core_id].running.is_none() && !self.pick_next(core_id, now, false) {
+            return; // idle: woken by PageArrived / Arrival
+        }
+        self.execute_slice(core_id);
+    }
+
+    /// Scheduler invocation; returns whether a thread is now running.
+    fn pick_next(&mut self, core_id: usize, now: SimTime, after_miss: bool) -> bool {
+        let closed = self.closed_loop;
+        let core = &mut self.cores[core_id];
+        // Read the queue pair before deciding (§IV-D2): arrived pages
+        // make their parked threads ready.
+        for c in core.notifications.drain() {
+            core.scheduler.page_arrived(now, c.thread);
+        }
+        let new_available = core.has_new_work(closed);
+        match core.scheduler.pick(now, new_available, after_miss) {
+            Pick::NewJob => {
+                let slot = core.free_slot().expect("has_new_work checked");
+                let arrived_at = if closed {
+                    now
+                } else {
+                    core.job_queue.pop_front().expect("queue non-empty")
+                };
+                let job = self.engine.next_job(&mut self.rng);
+                core.threads[slot] = Some(Thread {
+                    job,
+                    op_idx: 0,
+                    access_idx: 0,
+                    arrived_at,
+                    started_at: now,
+                    state: ThreadState::Running,
+                    compute_done: false,
+                    parked_at: SimTime::ZERO,
+                    forced: false,
+                });
+                core.running = Some(slot);
+                true
+            }
+            Pick::Pending { thread, ready } => {
+                let slot = thread as usize;
+                let t = core.threads[slot]
+                    .as_mut()
+                    .expect("pending thread exists");
+                t.state = ThreadState::Running;
+                let park_delay = now.saturating_since(t.parked_at).as_ns();
+                self.park_ns.record(park_delay);
+                // Forward progress: a rescheduled pending thread must
+                // retire its access even if the page was evicted again
+                // (§IV-C3). The bit also covers not-ready aged threads.
+                t.forced = true;
+                core.arch.force_forward_progress();
+                let _ = ready;
+                core.running = Some(slot);
+                true
+            }
+            Pick::Idle => {
+                core.stats.idle_picks += 1;
+                false
+            }
+        }
+    }
+
+    /// Executes the running thread until it finishes, parks, blocks, or
+    /// exhausts the slice budget.
+    fn execute_slice(&mut self, core_id: usize) {
+        let start = self.queue.now();
+        let mut t = start;
+        let mut busy_from = start;
+        macro_rules! account_busy {
+            () => {
+                self.cores[core_id].stats.busy_ns +=
+                    t.saturating_since(busy_from).as_ns();
+                #[allow(unused_assignments)]
+                {
+                    busy_from = t;
+                }
+            };
+        }
+        // Apply pending interrupt penalties (shootdown responder cost).
+        {
+            let core = &mut self.cores[core_id];
+            if core.pending_penalty_ns > 0 {
+                t += SimDuration::from_ns(core.pending_penalty_ns);
+                core.pending_penalty_ns = 0;
+            }
+        }
+
+        loop {
+            if t.saturating_since(start).as_ns() > SLICE_NS {
+                // Budget exhausted: stitch with a Resume event.
+                account_busy!();
+                let core = &mut self.cores[core_id];
+                if core.running.is_some() {
+                    core.resume_pending = true;
+                    self.queue.schedule(t, Event::Resume { core: core_id });
+                }
+                return;
+            }
+            let Some(slot) = self.cores[core_id].running else {
+                account_busy!();
+                return;
+            };
+
+            // Fetch the next step of the job without holding the borrow.
+            enum Step {
+                Compute(u64),
+                Access { addr: u64, is_write: bool },
+                JobDone,
+            }
+            let step = {
+                let core = &mut self.cores[core_id];
+                let th = core.threads[slot].as_mut().expect("running thread");
+                if th.op_idx >= th.job.ops.len() {
+                    Step::JobDone
+                } else {
+                    let op = &th.job.ops[th.op_idx];
+                    if !th.compute_done {
+                        th.compute_done = true;
+                        Step::Compute(op.compute_ns)
+                    } else if th.access_idx < op.accesses.len() {
+                        let a = op.accesses[th.access_idx];
+                        Step::Access {
+                            addr: a.addr,
+                            is_write: a.is_write,
+                        }
+                    } else {
+                        th.op_idx += 1;
+                        th.access_idx = 0;
+                        th.compute_done = false;
+                        continue;
+                    }
+                }
+            };
+
+            match step {
+                Step::Compute(ns) => {
+                    let core = &mut self.cores[core_id];
+                    core.rob.advance(ns);
+                    t += SimDuration::from_ns(ns);
+                }
+                Step::Access { addr, is_write } => {
+                    match self.do_access(core_id, slot, addr, is_write, t) {
+                        AccessResult::Done(t2) => {
+                            t = t2;
+                            let th = self.cores[core_id].threads[slot]
+                                .as_mut()
+                                .expect("running");
+                            th.access_idx += 1;
+                        }
+                        AccessResult::Suspended => {
+                            account_busy!();
+                            return;
+                        }
+                    }
+                }
+                Step::JobDone => {
+                    self.complete_job(core_id, slot, t);
+                    if self.stopped {
+                        account_busy!();
+                        return;
+                    }
+                    if !self.pick_next(core_id, t, false) {
+                        account_busy!();
+                        return;
+                    }
+                    // Charge the switch to the next job.
+                    let cost = self.switch_cost_ns();
+                    let core = &mut self.cores[core_id];
+                    core.stats.thread_switches += 1;
+                    core.stats.switch_overhead_ns += cost;
+                    t += SimDuration::from_ns(cost);
+                }
+            }
+        }
+    }
+
+    fn complete_job(&mut self, core_id: usize, slot: usize, t: SimTime) {
+        let th = self.cores[core_id].threads[slot]
+            .take()
+            .expect("completing thread");
+        self.cores[core_id].running = None;
+        self.cores[core_id].stats.jobs_done += 1;
+        self.total_jobs += 1;
+        if self.total_jobs == self.warmup_jobs {
+            self.measuring_since = t;
+        }
+        if self.total_jobs > self.warmup_jobs {
+            self.measured_jobs += 1;
+            let service = t.saturating_since(th.started_at).as_ns();
+            self.service_ns.record(service);
+            self.service_stats.push(service as f64);
+            self.response_ns
+                .record(t.saturating_since(th.arrived_at).as_ns());
+        }
+        if self.total_jobs >= self.jobs_target {
+            self.stopped = true;
+            // Advance the clock so throughput uses the true end time.
+            if t > self.queue.now() {
+                self.queue.advance_to(t);
+            }
+        }
+    }
+
+    /// Issues one memory access; returns the advanced time or suspends
+    /// the core (thread parked or blocked).
+    fn do_access(
+        &mut self,
+        core_id: usize,
+        slot: usize,
+        addr: u64,
+        is_write: bool,
+        mut t: SimTime,
+    ) -> AccessResult {
+        // 1. Address translation.
+        let vpn = addr / PAGE_SIZE;
+        if self.cores[core_id].tlb.access(vpn) == TlbResult::Miss {
+            match self.walk_page_table(core_id, slot, vpn, t) {
+                WalkResult::Done(t2) => t = t2,
+                WalkResult::Suspended => return AccessResult::Suspended,
+            }
+        }
+
+        // 2. On-chip hierarchy.
+        let outcome = self.hierarchy.access(core_id, addr, is_write);
+        let timing = self.cores[core_id].timing;
+        match outcome {
+            HierarchyOutcome::OnChipHit { latency_ns } => {
+                t += SimDuration::from_ns(timing.effective_stall_ns(latency_ns));
+                self.clear_forced(core_id, slot);
+                AccessResult::Done(t)
+            }
+            HierarchyOutcome::OffChipMiss { latency_ns } => {
+                t += SimDuration::from_ns(timing.effective_stall_ns(latency_ns));
+                if self.configuration == Configuration::DramOnly {
+                    let row = addr / 8192;
+                    let done = self.main_memory.access_row(t, row, 1);
+                    let lat = done.saturating_since(t).as_ns();
+                    t += SimDuration::from_ns(timing.effective_stall_ns(lat));
+                    self.clear_forced(core_id, slot);
+                    return AccessResult::Done(t);
+                }
+                self.dram_cache_access(core_id, slot, addr, is_write, t)
+            }
+        }
+    }
+
+    fn clear_forced(&mut self, core_id: usize, slot: usize) {
+        let core = &mut self.cores[core_id];
+        if let Some(th) = core.threads[slot].as_mut() {
+            if th.forced {
+                th.forced = false;
+                core.arch.clear_forward_progress();
+            }
+        }
+    }
+
+    /// The DRAM-cache probe and the per-configuration miss handling.
+    fn dram_cache_access(
+        &mut self,
+        core_id: usize,
+        slot: usize,
+        addr: u64,
+        is_write: bool,
+        t: SimTime,
+    ) -> AccessResult {
+        let page = addr / PAGE_SIZE;
+        let block = ((addr % PAGE_SIZE) / 64) as u32;
+        let timing = self.cores[core_id].timing;
+        match self.dram_cache.probe(t, page, block, is_write) {
+            ProbeOutcome::Hit { done_at } => {
+                let lat = done_at.saturating_since(t).as_ns();
+                let t = t + SimDuration::from_ns(timing.effective_stall_ns(lat));
+                self.clear_forced(core_id, slot);
+                AccessResult::Done(t)
+            }
+            ProbeOutcome::Miss { tag_check_done_at }
+            | ProbeOutcome::SubMiss { tag_check_done_at } => {
+                self.cores[core_id].stats.dram_cache_misses += 1;
+                // Resources for this request are reclaimed (§IV-C1): the
+                // speculatively filled block must not satisfy the retry.
+                self.hierarchy.invalidate_block(core_id, addr);
+                self.handle_miss(core_id, slot, page, addr, is_write, tag_check_done_at)
+            }
+        }
+    }
+
+    fn handle_miss(
+        &mut self,
+        core_id: usize,
+        slot: usize,
+        page: u64,
+        addr: u64,
+        is_write: bool,
+        t: SimTime,
+    ) -> AccessResult {
+        // Admit to the backside controller (dedup via MSR, flash read).
+        let waiter = Waiter {
+            core: core_id as u32,
+            thread: slot as u32,
+        };
+        match self.bc.admit(t, page, waiter, &mut self.dram_cache) {
+            BcAdmission::Duplicate => { /* read already in flight */ }
+            BcAdmission::IssueFlashRead { issue_at } => {
+                let block = ((addr % PAGE_SIZE) / 64) as u32;
+                let bitmap = self.dram_cache.predict_footprint(page, block);
+                let bytes = bitmap.count_ones() as u64 * 64;
+                let done = self.flash.read_bytes(issue_at, page, bytes);
+                self.inflight_footprints.insert(page, bitmap);
+                self.flash_read_ns
+                    .record(done.saturating_since(issue_at).as_ns());
+                self.queue.schedule(done, Event::PageArrived { page });
+            }
+            BcAdmission::Stalled => {
+                // MSR set full: FC stalls this request and retries.
+                let retry = t + SimDuration::from_ns(MSR_RETRY_NS);
+                let core = &mut self.cores[core_id];
+                core.resume_pending = true;
+                self.queue.schedule(retry, Event::Resume { core: core_id });
+                return AccessResult::Suspended;
+            }
+        }
+
+        let forced = self.cores[core_id].threads[slot]
+            .as_ref()
+            .map(|th| th.forced)
+            .unwrap_or(false);
+
+        match self.configuration {
+            Configuration::FlashSync => self.block_on_page(core_id, slot, page, t),
+            Configuration::AstriFlash
+            | Configuration::AstriFlashIdeal
+            | Configuration::AstriFlashNoPS
+            | Configuration::AstriFlashNoDP => {
+                if forced {
+                    self.cores[core_id].stats.forced_synchronous += 1;
+                    return self.block_on_page(core_id, slot, page, t);
+                }
+                // Switch-on-miss: abort a committed store if needed,
+                // flush the ROB, save context, invoke the handler.
+                let mut overhead = 0;
+                {
+                    let core = &mut self.cores[core_id];
+                    if is_write {
+                        if let (_, Some(id)) = core.sb.push(addr) {
+                            core.sb.abort(id);
+                        }
+                    }
+                    overhead += core.rob.flush();
+                    core.arch.record_miss_pc(addr);
+                    overhead += self.cfg.switch_cost_ns * u64::from(
+                        self.configuration != Configuration::AstriFlashIdeal,
+                    );
+                    core.stats.thread_switches += 1;
+                    core.stats.switch_overhead_ns += overhead;
+                }
+                let t = t + SimDuration::from_ns(overhead);
+                self.park_or_block(core_id, slot, page, t)
+            }
+            Configuration::OsSwap => {
+                // Demand-paging fault: trap + storage stack + switch out.
+                let b = self.cfg.os_costs.fault_breakdown(self.cfg.cores);
+                // The mapping change shoots down every other core's TLB.
+                for (i, other) in self.cores.iter_mut().enumerate() {
+                    if i != core_id {
+                        other.pending_penalty_ns += b.responder_ns;
+                        other.tlb.invalidate(page);
+                    }
+                }
+                let t = t + SimDuration::from_ns(b.before_switch_ns);
+                {
+                    let core = &mut self.cores[core_id];
+                    core.stats.thread_switches += 1;
+                    core.stats.switch_overhead_ns += b.faulting_core_total_ns();
+                }
+                // The resume-side cost lands when the job is picked back
+                // up, as a penalty on the core.
+                self.cores[core_id].pending_penalty_ns += b.after_completion_ns;
+                self.park_or_block(core_id, slot, page, t)
+            }
+            Configuration::DramOnly => unreachable!("DRAM-only never misses to flash"),
+        }
+    }
+
+    /// Parks the thread in the pending queue, or blocks the core when
+    /// the queue is full (§IV-D1).
+    fn park_or_block(
+        &mut self,
+        core_id: usize,
+        slot: usize,
+        page: u64,
+        t: SimTime,
+    ) -> AccessResult {
+        match self.cores[core_id]
+            .scheduler
+            .park_on_miss(t, slot as u32)
+        {
+            MissPark::Parked => {
+                let core = &mut self.cores[core_id];
+                let th = core.threads[slot].as_mut().expect("running");
+                th.state = ThreadState::Parked;
+                th.parked_at = t;
+                core.running = None;
+                // Pick the next job inside the handler.
+                if self.pick_next(core_id, t, true) {
+                    self.schedule_resume(core_id, t);
+                }
+                AccessResult::Suspended
+            }
+            MissPark::QueueFullWaitFor(_oldest) => {
+                // The scheduler waits for the oldest job's flash
+                // response; the core is blocked either way. We block on
+                // our own page (same flash-wait magnitude, no extra
+                // bookkeeping).
+                self.block_on_page(core_id, slot, page, t)
+            }
+        }
+    }
+
+    fn block_on_page(
+        &mut self,
+        core_id: usize,
+        slot: usize,
+        page: u64,
+        t: SimTime,
+    ) -> AccessResult {
+        let core = &mut self.cores[core_id];
+        let th = core.threads[slot].as_mut().expect("running");
+        th.state = ThreadState::BlockedOnPage(page);
+        th.parked_at = t;
+        // running stays = Some(slot); PageArrived resumes it.
+        AccessResult::Suspended
+    }
+
+    /// Radix page-table walk: PTE reads through the hierarchy; their
+    /// backing store depends on DRAM partitioning (§IV-A).
+    fn walk_page_table(
+        &mut self,
+        core_id: usize,
+        slot: usize,
+        vpn: u64,
+        mut t: SimTime,
+    ) -> WalkResult {
+        let no_dp = self.configuration == Configuration::AstriFlashNoDP;
+        let timing = self.cores[core_id].timing;
+        for pte_addr in self.walker.walk_addresses(vpn) {
+            match self.hierarchy.access(core_id, pte_addr, false) {
+                HierarchyOutcome::OnChipHit { latency_ns } => {
+                    t += SimDuration::from_ns(timing.effective_stall_ns(latency_ns));
+                }
+                HierarchyOutcome::OffChipMiss { latency_ns } => {
+                    t += SimDuration::from_ns(timing.effective_stall_ns(latency_ns));
+                    if !no_dp {
+                        // Page tables live in the flat DRAM partition —
+                        // a plain DRAM access, walks never touch flash.
+                        let done = self.main_memory.access_row(t, pte_addr / 8192, 1);
+                        t = done; // serialized walk: fully exposed
+                    } else {
+                        // noDP: the PTE page is flash-backed. Probe the
+                        // DRAM cache; a miss is a *synchronous* flash
+                        // read in the middle of a serialized walk.
+                        let page = pte_addr / PAGE_SIZE;
+                        let block = ((pte_addr % PAGE_SIZE) / 64) as u32;
+                        match self.dram_cache.probe(t, page, block, false) {
+                            ProbeOutcome::Hit { done_at } => t = done_at,
+                            ProbeOutcome::Miss { tag_check_done_at }
+                            | ProbeOutcome::SubMiss { tag_check_done_at } => {
+                                self.cores[core_id].stats.pt_walk_flash_reads += 1;
+                                let waiter = Waiter {
+                                    core: core_id as u32,
+                                    thread: slot as u32,
+                                };
+                                match self.bc.admit(
+                                    tag_check_done_at,
+                                    page,
+                                    waiter,
+                                    &mut self.dram_cache,
+                                ) {
+                                    BcAdmission::IssueFlashRead { issue_at } => {
+                                        self.inflight_footprints.insert(page, u64::MAX);
+                                        let done = self.flash.read(issue_at, page);
+                                        self.queue
+                                            .schedule(done, Event::PageArrived { page });
+                                    }
+                                    BcAdmission::Duplicate => {}
+                                    BcAdmission::Stalled => {
+                                        let retry = tag_check_done_at
+                                            + SimDuration::from_ns(MSR_RETRY_NS);
+                                        self.cores[core_id].resume_pending = true;
+                                        self.queue
+                                            .schedule(retry, Event::Resume { core: core_id });
+                                        return WalkResult::Suspended;
+                                    }
+                                }
+                                self.block_on_page(core_id, slot, page, t);
+                                return WalkResult::Suspended;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        WalkResult::Done(t)
+    }
+}
+
+enum AccessResult {
+    Done(SimTime),
+    Suspended,
+}
+
+enum WalkResult {
+    Done(SimTime),
+    Suspended,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg: Configuration) -> SystemStats {
+        let config = SystemConfig::default().with_cores(2).scaled_for_tests();
+        SystemSim::new(config, cfg, 7).run_closed_loop(40)
+    }
+
+    #[test]
+    fn dram_only_completes_jobs() {
+        let stats = quick(Configuration::DramOnly);
+        assert!(stats.measured_jobs >= 80);
+        assert_eq!(stats.dram_cache_misses, 0);
+        assert!(stats.service_ns.mean() > 0.0);
+    }
+
+    #[test]
+    fn astriflash_misses_and_switches() {
+        let stats = quick(Configuration::AstriFlash);
+        assert!(stats.measured_jobs > 0);
+        assert!(stats.dram_cache_misses > 0, "flash-backed run must miss");
+        assert!(stats.switches > 0);
+    }
+
+    #[test]
+    fn flash_sync_blocks_instead_of_switching() {
+        let stats = quick(Configuration::FlashSync);
+        assert!(stats.blocked_ns > 0, "Flash-Sync must block on flash");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick(Configuration::AstriFlash);
+        let b = quick(Configuration::AstriFlash);
+        assert_eq!(a.measured_jobs, b.measured_jobs);
+        assert_eq!(a.dram_cache_misses, b.dram_cache_misses);
+        assert_eq!(a.service_ns.mean(), b.service_ns.mean());
+    }
+
+    #[test]
+    fn open_loop_measures_response_time() {
+        let config = SystemConfig::default().with_cores(2).scaled_for_tests();
+        let stats =
+            SystemSim::new(config, Configuration::AstriFlash, 9).run_open_loop(30_000.0, 100);
+        assert!(stats.measured_jobs > 0);
+        assert!(stats.response_ns.mean() >= stats.service_ns.mean() * 0.5);
+    }
+}

@@ -1,0 +1,156 @@
+//! AstriFlash architectural state: the Handler Address Register and the
+//! Resume Register (§IV-C2, §IV-C3).
+//!
+//! The handler address register holds the virtual address of the
+//! user-level thread scheduler's entry point and is writable only in
+//! privileged mode (installed via a verifying system call). The resume
+//! register holds the PC of the miss-triggering instruction plus the
+//! forward-progress bit, and is user-writable. Both are saved/restored on
+//! context switches as ordinary process state.
+
+/// Privilege level of a register write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Privilege {
+    /// User mode.
+    User,
+    /// Kernel / privileged mode.
+    Kernel,
+}
+
+/// The resume register: miss PC plus the forward-progress bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumeRegister {
+    /// PC of the instruction to resume after the flash access completes.
+    pub pc: u64,
+    /// When set, the resuming instruction's memory request completes
+    /// synchronously at the frontside controller even on a DRAM-cache
+    /// miss, guaranteeing the thread retires at least one instruction
+    /// (§IV-C3).
+    pub forward_progress: bool,
+}
+
+/// Error returned when user code writes a privileged register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrivilegeViolation;
+
+impl std::fmt::Display for PrivilegeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("handler address register requires privileged mode")
+    }
+}
+
+impl std::error::Error for PrivilegeViolation {}
+
+/// Per-process AstriFlash architectural state.
+///
+/// # Example
+///
+/// ```
+/// use astriflash_cpu::{ArchState, Privilege};
+/// let mut st = ArchState::new();
+/// st.set_handler(0x4000_0000, Privilege::Kernel)?;
+/// assert_eq!(st.handler(), Some(0x4000_0000));
+/// # Ok::<(), astriflash_cpu::arch_state::PrivilegeViolation>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArchState {
+    handler: Option<u64>,
+    resume: ResumeRegister,
+}
+
+impl ArchState {
+    /// Fresh state with no handler installed.
+    pub fn new() -> Self {
+        ArchState::default()
+    }
+
+    /// Installs the user-level scheduler handler. Fails from user mode
+    /// (the real system routes this through a verifying syscall).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrivilegeViolation`] when called with
+    /// [`Privilege::User`].
+    pub fn set_handler(&mut self, addr: u64, privilege: Privilege) -> Result<(), PrivilegeViolation> {
+        if privilege != Privilege::Kernel {
+            return Err(PrivilegeViolation);
+        }
+        self.handler = Some(addr);
+        Ok(())
+    }
+
+    /// The installed handler address, if any. A core receiving a miss
+    /// signal with no handler cannot switch threads (it must stall
+    /// synchronously, as pre-AstriFlash hardware would).
+    pub fn handler(&self) -> Option<u64> {
+        self.handler
+    }
+
+    /// Reads the resume register (user mode allowed).
+    pub fn resume(&self) -> ResumeRegister {
+        self.resume
+    }
+
+    /// Writes the resume register (user mode allowed, §IV-C2).
+    pub fn set_resume(&mut self, reg: ResumeRegister) {
+        self.resume = reg;
+    }
+
+    /// Records the miss-triggering PC (hardware path on a miss signal).
+    pub fn record_miss_pc(&mut self, pc: u64) {
+        self.resume.pc = pc;
+    }
+
+    /// Sets the forward-progress bit (scheduler rescheduling a pending
+    /// thread, §IV-C3).
+    pub fn force_forward_progress(&mut self) {
+        self.resume.forward_progress = true;
+    }
+
+    /// Clears the forward-progress bit after the resuming instruction
+    /// retires.
+    pub fn clear_forward_progress(&mut self) {
+        self.resume.forward_progress = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_requires_kernel_mode() {
+        let mut st = ArchState::new();
+        assert_eq!(st.set_handler(0x1000, Privilege::User), Err(PrivilegeViolation));
+        assert_eq!(st.handler(), None);
+        st.set_handler(0x1000, Privilege::Kernel).unwrap();
+        assert_eq!(st.handler(), Some(0x1000));
+    }
+
+    #[test]
+    fn resume_register_is_user_writable() {
+        let mut st = ArchState::new();
+        st.set_resume(ResumeRegister {
+            pc: 0x2000,
+            forward_progress: false,
+        });
+        st.force_forward_progress();
+        assert!(st.resume().forward_progress);
+        assert_eq!(st.resume().pc, 0x2000);
+        st.clear_forward_progress();
+        assert!(!st.resume().forward_progress);
+    }
+
+    #[test]
+    fn miss_pc_recorded_by_hardware() {
+        let mut st = ArchState::new();
+        st.record_miss_pc(0xdead);
+        assert_eq!(st.resume().pc, 0xdead);
+    }
+
+    #[test]
+    fn privilege_violation_displays() {
+        let e = PrivilegeViolation;
+        assert!(e.to_string().contains("privileged"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Store buffer with ASO-style post-retirement speculation (§IV-C4).
+//!
+//! Retired-but-incomplete stores sit in the store buffer. Because any of
+//! them can still miss in the DRAM cache and be aborted, their physical
+//! register mappings are kept until the store *completes* (leaves the
+//! SB), not when it retires. The paper budgets 4 extra physical
+//! registers per SB entry (32 × 4 = 128 extra PRF registers ≈ 1 KB of
+//! SRAM, plus 1 KB of map tables). When the extra-PRF budget is
+//! exhausted, further stores cannot retire and the core stalls.
+
+/// Result of attempting to retire a store into the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbPush {
+    /// The store entered the buffer.
+    Accepted,
+    /// The buffer is full — the core stalls at retirement.
+    SbFull,
+    /// No physical registers remain for speculative tracking — the core
+    /// stalls until a store completes.
+    PrfExhausted,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SbEntry {
+    id: u64,
+    addr: u64,
+    regs_held: u32,
+}
+
+/// Abort report: everything squashed by rolling back to a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbortReport {
+    /// Stores discarded (the aborting store and everything younger).
+    pub stores_squashed: u32,
+    /// Physical registers released by the rollback.
+    pub regs_released: u32,
+}
+
+/// The speculative store buffer for one core.
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    entries: Vec<SbEntry>,
+    capacity: usize,
+    extra_prf: u32,
+    regs_per_store: u32,
+    regs_in_use: u32,
+    next_id: u64,
+    aborts: u64,
+    completed: u64,
+    prf_stalls: u64,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer of `capacity` entries with `extra_prf` physical
+    /// registers for speculation, `regs_per_store` held per store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(capacity: usize, extra_prf: u32, regs_per_store: u32) -> Self {
+        assert!(capacity > 0 && extra_prf > 0 && regs_per_store > 0);
+        StoreBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            extra_prf,
+            regs_per_store,
+            regs_in_use: 0,
+            next_id: 0,
+            aborts: 0,
+            completed: 0,
+            prf_stalls: 0,
+        }
+    }
+
+    /// The paper's sizing: 32-entry SB, 128 extra PRF registers, 4
+    /// registers per store (§IV-C4).
+    pub fn a76_aso() -> Self {
+        StoreBuffer::new(32, 128, 4)
+    }
+
+    /// Attempts to retire a store to `addr`; returns its id on success.
+    pub fn push(&mut self, addr: u64) -> (SbPush, Option<u64>) {
+        if self.entries.len() >= self.capacity {
+            return (SbPush::SbFull, None);
+        }
+        if self.regs_in_use + self.regs_per_store > self.extra_prf {
+            self.prf_stalls += 1;
+            return (SbPush::PrfExhausted, None);
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.entries.push(SbEntry {
+            id,
+            addr,
+            regs_held: self.regs_per_store,
+        });
+        self.regs_in_use += self.regs_per_store;
+        (SbPush::Accepted, Some(id))
+    }
+
+    /// Completes the oldest store (its write reached the memory system);
+    /// its register mappings are freed. Returns the store's address.
+    pub fn complete_oldest(&mut self) -> Option<u64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let e = self.entries.remove(0);
+        self.regs_in_use -= e.regs_held;
+        self.completed += 1;
+        Some(e.addr)
+    }
+
+    /// Aborts store `id` and discards it plus every younger store — the
+    /// rollback taken when a committed store misses in the DRAM cache
+    /// (§IV-C4, Fig. 7).
+    ///
+    /// Returns `None` if `id` is not in the buffer (already completed).
+    pub fn abort(&mut self, id: u64) -> Option<AbortReport> {
+        let pos = self.entries.iter().position(|e| e.id == id)?;
+        let squashed: Vec<SbEntry> = self.entries.drain(pos..).collect();
+        let regs: u32 = squashed.iter().map(|e| e.regs_held).sum();
+        self.regs_in_use -= regs;
+        self.aborts += 1;
+        Some(AbortReport {
+            stores_squashed: squashed.len() as u32,
+            regs_released: regs,
+        })
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Physical registers currently held by speculative stores.
+    pub fn regs_in_use(&self) -> u32 {
+        self.regs_in_use
+    }
+
+    /// Oldest store's id (next to complete).
+    pub fn oldest(&self) -> Option<u64> {
+        self.entries.first().map(|e| e.id)
+    }
+
+    /// Rollbacks taken.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Stores completed normally.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Retirement stalls due to PRF exhaustion.
+    pub fn prf_stalls(&self) -> u64 {
+        self.prf_stalls
+    }
+
+    /// The extra SRAM the mechanism costs, in bytes: the PRF registers
+    /// (8 B each) plus one 32-register map-table entry of 8-bit indices
+    /// per SB slot — the paper's 2 KB estimate (§IV-C4).
+    pub fn silicon_overhead_bytes(&self) -> u64 {
+        let prf = self.extra_prf as u64 * 8;
+        let map_tables = self.capacity as u64 * 32;
+        prf + map_tables
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_complete_cycle() {
+        let mut sb = StoreBuffer::a76_aso();
+        let (res, id) = sb.push(0x100);
+        assert_eq!(res, SbPush::Accepted);
+        assert_eq!(id, Some(0));
+        assert_eq!(sb.regs_in_use(), 4);
+        assert_eq!(sb.complete_oldest(), Some(0x100));
+        assert_eq!(sb.regs_in_use(), 0);
+        assert_eq!(sb.completed(), 1);
+    }
+
+    #[test]
+    fn capacity_limits() {
+        let mut sb = StoreBuffer::new(2, 100, 4);
+        sb.push(1);
+        sb.push(2);
+        assert_eq!(sb.push(3).0, SbPush::SbFull);
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    fn prf_exhaustion_stalls_retirement() {
+        // 8 entries but only 8 registers at 4/store → 2 stores max.
+        let mut sb = StoreBuffer::new(8, 8, 4);
+        assert_eq!(sb.push(1).0, SbPush::Accepted);
+        assert_eq!(sb.push(2).0, SbPush::Accepted);
+        assert_eq!(sb.push(3).0, SbPush::PrfExhausted);
+        assert_eq!(sb.prf_stalls(), 1);
+        sb.complete_oldest();
+        assert_eq!(sb.push(3).0, SbPush::Accepted);
+    }
+
+    #[test]
+    fn abort_squashes_younger_stores() {
+        let mut sb = StoreBuffer::a76_aso();
+        let ids: Vec<u64> = (0..4).map(|i| sb.push(i * 64).1.unwrap()).collect();
+        let report = sb.abort(ids[1]).unwrap();
+        assert_eq!(report.stores_squashed, 3);
+        assert_eq!(report.regs_released, 12);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.oldest(), Some(ids[0]));
+        assert_eq!(sb.regs_in_use(), 4);
+        assert_eq!(sb.aborts(), 1);
+    }
+
+    #[test]
+    fn abort_unknown_id_is_none() {
+        let mut sb = StoreBuffer::a76_aso();
+        let (_, id) = sb.push(1);
+        sb.complete_oldest();
+        assert_eq!(sb.abort(id.unwrap()), None);
+    }
+
+    #[test]
+    fn paper_silicon_budget_is_2kb() {
+        let sb = StoreBuffer::a76_aso();
+        assert_eq!(sb.silicon_overhead_bytes(), 2048);
+    }
+}

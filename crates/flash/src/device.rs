@@ -1,0 +1,342 @@
+//! The assembled SSD: planes + FTL + channel links + garbage collection.
+
+use astriflash_sim::{BandwidthLink, SimDuration, SimRng, SimTime};
+use astriflash_stats::Histogram;
+
+use crate::config::FlashConfig;
+use crate::ftl::Ftl;
+use crate::plane::Plane;
+
+/// Aggregate device statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FlashStats {
+    /// Page reads serviced.
+    pub reads: u64,
+    /// Bytes transferred to the host by reads.
+    pub read_bytes: u64,
+    /// Page programs serviced.
+    pub writes: u64,
+    /// GC block erasures performed.
+    pub gc_erases: u64,
+    /// Valid pages migrated by GC.
+    pub gc_migrated_pages: u64,
+    /// Reads that arrived while their plane was garbage-collecting.
+    pub reads_blocked_by_gc: u64,
+}
+
+impl FlashStats {
+    /// Fraction of reads that waited behind garbage collection.
+    pub fn gc_blocked_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.reads_blocked_by_gc as f64 / self.reads as f64
+        }
+    }
+}
+
+/// The SSD model. See the crate docs for the modeling scope.
+#[derive(Debug)]
+pub struct FlashDevice {
+    cfg: FlashConfig,
+    planes: Vec<Plane>,
+    ftl: Ftl,
+    channels: Vec<BandwidthLink>,
+    stats: FlashStats,
+    read_latency_hist: Histogram,
+    rng: SimRng,
+}
+
+impl FlashDevice {
+    /// Builds the device from a validated config.
+    pub fn new(cfg: FlashConfig, seed: u64) -> Self {
+        cfg.validate();
+        let planes = (0..cfg.num_planes())
+            .map(|_| Plane::new(cfg.blocks_per_plane(), cfg.pages_per_block))
+            .collect();
+        let channels = (0..cfg.channels)
+            .map(|_| BandwidthLink::new(cfg.channel_bandwidth_bps))
+            .collect();
+        let ftl = Ftl::new(cfg.num_planes());
+        FlashDevice {
+            cfg,
+            planes,
+            ftl,
+            channels,
+            stats: FlashStats::default(),
+            read_latency_hist: Histogram::new(),
+            rng: SimRng::new(seed ^ 0xF1A5_11DE),
+        }
+    }
+
+    fn channel_of(&self, plane: usize) -> usize {
+        plane % self.cfg.channels
+    }
+
+    /// Small per-operation latency jitter (firmware scheduling, ECC
+    /// retries): ±10 % lognormal-ish spread around the nominal latency.
+    fn jitter(&mut self, nominal_ns: u64) -> SimDuration {
+        let f = 0.95 + 0.1 * self.rng.gen_f64() + 0.05 * self.rng.gen_exp(1.0);
+        SimDuration::from_ns_f64(nominal_ns as f64 * f)
+    }
+
+    /// Reads a 4 KiB logical page; returns when the data has fully
+    /// arrived at the host.
+    pub fn read(&mut self, now: SimTime, logical_page: u64) -> SimTime {
+        self.read_bytes(now, logical_page, FlashConfig::PAGE_BYTES)
+    }
+
+    /// Partial-page read: the array access costs full tR, but only
+    /// `bytes` cross the channel (the footprint-cache optimization,
+    /// §II-A — bandwidth, not latency, is what footprints save).
+    pub fn read_bytes(&mut self, now: SimTime, logical_page: u64, bytes: u64) -> SimTime {
+        let bytes = bytes.clamp(64, FlashConfig::PAGE_BYTES);
+        let plane_idx = self.ftl.plane_of(logical_page);
+        let channel_idx = self.channel_of(plane_idx);
+        self.stats.reads += 1;
+        self.stats.read_bytes += bytes;
+        if self.planes[plane_idx].blocked_by_gc(now) {
+            self.stats.reads_blocked_by_gc += 1;
+        }
+        let t_r = self.jitter(self.cfg.read_latency_ns);
+        let array_done = self.planes[plane_idx].occupy_read(now, t_r);
+        // Transfer over the channel once the array read finishes, then
+        // pay the controller/host overhead.
+        let transfer_done = self.channels[channel_idx].transfer(array_done, bytes);
+        let done = transfer_done + SimDuration::from_ns(self.cfg.controller_overhead_ns);
+        self.read_latency_hist
+            .record(done.saturating_since(now).as_ns());
+        done
+    }
+
+    /// Writes (programs) a logical page out-of-place; returns the program
+    /// completion time. May trigger garbage collection on the target
+    /// plane, whose cost is charged to that plane (local erasure, §VI-D).
+    pub fn write(&mut self, now: SimTime, logical_page: u64) -> SimTime {
+        let plane_idx = self.ftl.plane_of(logical_page);
+        let channel_idx = self.channel_of(plane_idx);
+        self.stats.writes += 1;
+
+        self.maybe_gc(now, plane_idx);
+
+        // Host-to-device transfer, then program.
+        let transfer_done = self.channels[channel_idx].transfer(now, FlashConfig::PAGE_BYTES);
+        let t_prog = self.jitter(self.cfg.program_latency_ns);
+        let done = self.planes[plane_idx].occupy_write(transfer_done, t_prog);
+
+        // FTL bookkeeping: allocate a physical page, invalidate the old
+        // one. Allocation can only fail if GC is disabled and the plane
+        // is truly full; fall back to rewriting in place (wear modeling
+        // degrades but timing stays sane).
+        if let Some(new_loc) = self.planes[plane_idx].allocate_page() {
+            if let Some(old) = self.ftl.remap(logical_page, plane_idx, new_loc) {
+                self.planes[plane_idx].invalidate(old);
+            }
+        }
+        done
+    }
+
+    /// Runs greedy GC on `plane` if its free-block count dropped below
+    /// the configured threshold.
+    fn maybe_gc(&mut self, now: SimTime, plane_idx: usize) {
+        if !self.cfg.gc_enabled {
+            return;
+        }
+        let min_free = ((self.planes[plane_idx].num_blocks() as f64
+            * self.cfg.gc_free_block_threshold) as usize)
+            .max(1);
+        // Bound the loop: each iteration frees one block, so it cannot
+        // exceed the plane's block count.
+        for _ in 0..self.planes[plane_idx].num_blocks() {
+            if self.planes[plane_idx].free_block_count() >= min_free {
+                break;
+            }
+            let Some((victim, valid)) = self.planes[plane_idx].pick_victim() else {
+                break;
+            };
+            // Migration: each valid page is read + programmed within the
+            // plane (copy-back), then the block is erased. Live pages
+            // move to the active block and the FTL is remapped.
+            let migrate = SimDuration::from_ns(
+                valid as u64 * (self.cfg.read_latency_ns + self.cfg.program_latency_ns),
+            );
+            let erase = SimDuration::from_ns(self.cfg.erase_latency_ns);
+            let live = self.ftl.drain_block(plane_idx, victim);
+            self.planes[plane_idx].erase_block(now, victim, erase, migrate);
+            for logical in live {
+                if let Some(new_loc) = self.planes[plane_idx].allocate_page() {
+                    // The old location died with the erase; no invalidate.
+                    self.ftl.remap(logical, plane_idx, new_loc);
+                }
+            }
+            self.stats.gc_erases += 1;
+            self.stats.gc_migrated_pages += valid as u64;
+        }
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> &FlashStats {
+        &self.stats
+    }
+
+    /// Read-latency distribution (ns).
+    pub fn read_latency_hist(&self) -> &Histogram {
+        &self.read_latency_hist
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FlashConfig {
+        &self.cfg
+    }
+
+    /// Total wear (block erases) across planes.
+    pub fn total_erases(&self) -> u64 {
+        self.planes.iter().map(|p| p.total_erases()).sum()
+    }
+
+    /// The FTL (exposed for inspection in tests).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> FlashDevice {
+        FlashDevice::new(FlashConfig::default(), 7)
+    }
+
+    #[test]
+    fn unloaded_read_is_about_50us() {
+        let mut dev = device();
+        let done = dev.read(SimTime::ZERO, 0);
+        let lat = done.as_ns();
+        assert!(
+            (40_000..70_000).contains(&lat),
+            "unloaded read latency {lat}ns"
+        );
+        assert_eq!(dev.stats().reads, 1);
+    }
+
+    #[test]
+    fn reads_to_same_plane_queue() {
+        let mut dev = device();
+        let planes = dev.config().num_planes() as u64;
+        let a = dev.read(SimTime::ZERO, 0);
+        let b = dev.read(SimTime::ZERO, planes); // same plane (striding)
+        assert!(b > a, "second read must queue behind the first");
+        let c = dev.read(SimTime::ZERO, 1); // different plane
+        assert!(c < b, "different plane should not queue");
+    }
+
+    #[test]
+    fn writes_remap_and_invalidate() {
+        let mut dev = device();
+        dev.write(SimTime::ZERO, 5);
+        let first = dev.ftl().lookup(5).unwrap();
+        dev.write(SimTime::from_ms(1), 5);
+        let second = dev.ftl().lookup(5).unwrap();
+        assert_ne!(first, second, "out-of-place write must move the page");
+        assert_eq!(dev.stats().writes, 2);
+    }
+
+    #[test]
+    fn sustained_writes_trigger_gc() {
+        let cfg = FlashConfig {
+            capacity_bytes: 16 << 20, // tiny device: GC pressure quickly
+            channels: 1,
+            dies_per_channel: 1,
+            planes_per_die: 1,
+            pages_per_block: 16,
+            ..FlashConfig::default()
+        };
+        let mut dev = FlashDevice::new(cfg, 1);
+        let pages = dev.config().num_logical_pages();
+        let mut now = SimTime::ZERO;
+        // Overwrite the whole logical space twice.
+        for i in 0..pages * 2 {
+            now = dev.write(now, i % pages);
+        }
+        assert!(dev.stats().gc_erases > 0, "GC never ran");
+        assert!(dev.total_erases() > 0);
+    }
+
+    #[test]
+    fn gc_blocks_concurrent_reads() {
+        let cfg = FlashConfig {
+            capacity_bytes: 16 << 20,
+            channels: 1,
+            dies_per_channel: 1,
+            planes_per_die: 1,
+            pages_per_block: 16,
+            ..FlashConfig::default()
+        };
+        let mut dev = FlashDevice::new(cfg, 2);
+        let pages = dev.config().num_logical_pages();
+        // Open-loop arrivals: requests keep coming while GC is running,
+        // so some reads land inside GC windows.
+        let mut now = SimTime::ZERO;
+        for i in 0..pages * 4 {
+            now += SimDuration::from_us(400);
+            dev.write(now, i % pages);
+            dev.read(now, (i * 7) % pages);
+        }
+        assert!(
+            dev.stats().reads_blocked_by_gc > 0,
+            "expected some GC-blocked reads"
+        );
+        assert!(dev.stats().gc_blocked_fraction() < 0.5);
+    }
+
+    #[test]
+    fn gc_disabled_never_erases() {
+        let cfg = FlashConfig {
+            capacity_bytes: 16 << 20,
+            pages_per_block: 16,
+            ..FlashConfig::default().with_gc_enabled(false)
+        };
+        let mut dev = FlashDevice::new(cfg, 3);
+        let pages = dev.config().num_logical_pages();
+        let mut now = SimTime::ZERO;
+        for i in 0..pages * 3 {
+            now = dev.write(now, i % pages);
+        }
+        assert_eq!(dev.stats().gc_erases, 0);
+    }
+
+    #[test]
+    fn bigger_devices_block_less() {
+        // §VI-D: a 1 TB flash (more chips) blocks >4x fewer requests than
+        // 256 GB. We verify the direction at a smaller scale: quadrupling
+        // capacity (and thus planes) under the same absolute write load
+        // reduces the blocked fraction.
+        let run = |planes_per_die: usize, seed: u64| {
+            let cfg = FlashConfig {
+                capacity_bytes: 64 << 20,
+                channels: 2,
+                dies_per_channel: 2,
+                planes_per_die,
+                pages_per_block: 16,
+                ..FlashConfig::default()
+            };
+            let mut dev = FlashDevice::new(cfg, seed);
+            let pages = dev.config().num_logical_pages();
+            let mut now = SimTime::ZERO;
+            let mut rng = SimRng::new(seed);
+            for _ in 0..(pages * 4) {
+                now += SimDuration::from_us(400);
+                dev.write(now, rng.gen_range(pages));
+                dev.read(now, rng.gen_range(pages));
+            }
+            dev.stats().gc_blocked_fraction()
+        };
+        let small = run(1, 11);
+        let large = run(4, 11);
+        assert!(
+            large <= small,
+            "more planes should reduce GC blocking: {small} -> {large}"
+        );
+    }
+}

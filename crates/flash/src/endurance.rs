@@ -1,0 +1,143 @@
+//! Flash endurance and lifetime estimation.
+//!
+//! The paper argues its limited write traffic yields "infrequent garbage
+//! collection events and practical endurance/lifetime for flash" (§V-A).
+//! This module turns the device's observed write/GC counters into a
+//! lifetime projection so that claim can be checked for any workload.
+
+use crate::device::FlashDevice;
+
+/// Program/erase endurance of common NAND generations (cycles/block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NandEndurance {
+    /// Enterprise SLC-class (~100k P/E).
+    Slc,
+    /// MLC-class (~10k P/E).
+    Mlc,
+    /// TLC-class (~3k P/E).
+    Tlc,
+    /// QLC-class (~1k P/E).
+    Qlc,
+}
+
+impl NandEndurance {
+    /// Rated program/erase cycles per block.
+    pub fn pe_cycles(self) -> u64 {
+        match self {
+            NandEndurance::Slc => 100_000,
+            NandEndurance::Mlc => 10_000,
+            NandEndurance::Tlc => 3_000,
+            NandEndurance::Qlc => 1_000,
+        }
+    }
+}
+
+/// A lifetime projection derived from an observed simulation window.
+#[derive(Debug, Clone, Copy)]
+pub struct LifetimeEstimate {
+    /// Host writes observed per simulated second (pages/s).
+    pub host_writes_per_sec: f64,
+    /// Write amplification factor (total programs / host programs).
+    pub write_amplification: f64,
+    /// Block erases per simulated second across the device.
+    pub erases_per_sec: f64,
+    /// Projected years until the rated P/E budget is exhausted,
+    /// assuming perfect wear leveling. `f64::INFINITY` if no writes.
+    pub years_to_wearout: f64,
+}
+
+/// Projects device lifetime from the observed counters over
+/// `elapsed_secs` of simulated time.
+pub fn estimate_lifetime(
+    dev: &FlashDevice,
+    elapsed_secs: f64,
+    nand: NandEndurance,
+) -> LifetimeEstimate {
+    assert!(elapsed_secs > 0.0, "need a positive observation window");
+    let stats = dev.stats();
+    let host_writes = stats.writes as f64;
+    let total_programs = host_writes + stats.gc_migrated_pages as f64;
+    let write_amplification = if host_writes > 0.0 {
+        total_programs / host_writes
+    } else {
+        1.0
+    };
+    let erases_per_sec = stats.gc_erases as f64 / elapsed_secs;
+
+    let cfg = dev.config();
+    let total_blocks = cfg.num_planes() as u64 * cfg.blocks_per_plane();
+    let pe_budget = total_blocks as f64 * nand.pe_cycles() as f64;
+    // Erase consumption rate; with ideal wear leveling the budget drains
+    // uniformly.
+    let years_to_wearout = if erases_per_sec > 0.0 {
+        pe_budget / erases_per_sec / (365.25 * 24.0 * 3600.0)
+    } else {
+        f64::INFINITY
+    };
+
+    LifetimeEstimate {
+        host_writes_per_sec: host_writes / elapsed_secs,
+        write_amplification,
+        erases_per_sec,
+        years_to_wearout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlashConfig;
+    use astriflash_sim::{SimDuration, SimRng, SimTime};
+
+    #[test]
+    fn idle_device_lives_forever() {
+        let dev = FlashDevice::new(FlashConfig::default(), 1);
+        let est = estimate_lifetime(&dev, 1.0, NandEndurance::Tlc);
+        assert_eq!(est.years_to_wearout, f64::INFINITY);
+        assert_eq!(est.write_amplification, 1.0);
+    }
+
+    #[test]
+    fn write_heavy_device_wears_out_faster() {
+        let small = FlashConfig {
+            capacity_bytes: 16 << 20,
+            channels: 1,
+            dies_per_channel: 1,
+            planes_per_die: 1,
+            pages_per_block: 16,
+            ..FlashConfig::default()
+        };
+        let mut dev = FlashDevice::new(small, 2);
+        let pages = dev.config().num_logical_pages();
+        let mut rng = SimRng::new(3);
+        let mut now = SimTime::ZERO;
+        for _ in 0..pages * 4 {
+            now += SimDuration::from_us(300);
+            dev.write(now, rng.gen_range(pages));
+        }
+        let elapsed = now.as_secs_f64();
+        let est = estimate_lifetime(&dev, elapsed, NandEndurance::Qlc);
+        assert!(est.erases_per_sec > 0.0);
+        assert!(est.years_to_wearout.is_finite());
+        assert!(est.write_amplification >= 1.0);
+
+        // The same stream on SLC lasts 100x longer.
+        let slc = estimate_lifetime(&dev, elapsed, NandEndurance::Slc);
+        let ratio = slc.years_to_wearout / est.years_to_wearout;
+        assert!((ratio - 100.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn endurance_ordering() {
+        assert!(NandEndurance::Slc.pe_cycles() > NandEndurance::Mlc.pe_cycles());
+        assert!(NandEndurance::Mlc.pe_cycles() > NandEndurance::Tlc.pe_cycles());
+        assert!(NandEndurance::Tlc.pe_cycles() > NandEndurance::Qlc.pe_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive observation window")]
+    fn zero_window_rejected() {
+        let dev = FlashDevice::new(FlashConfig::default(), 1);
+        estimate_lifetime(&dev, 0.0, NandEndurance::Tlc);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests of the FTL and garbage collector: no write stream may
+//! ever lose a page mapping or double-book a physical page.
+
+use proptest::prelude::*;
+
+use astriflash_flash::{FlashConfig, FlashDevice};
+use astriflash_sim::{SimDuration, SimTime};
+
+fn tiny_device(seed: u64) -> FlashDevice {
+    FlashDevice::new(
+        FlashConfig {
+            capacity_bytes: 8 << 20,
+            channels: 1,
+            dies_per_channel: 2,
+            planes_per_die: 1,
+            pages_per_block: 8,
+            ..FlashConfig::default()
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// After an arbitrary write stream (with GC churn), every written
+    /// logical page still has exactly one mapping, and timestamps are
+    /// monotone per call site.
+    #[test]
+    fn mappings_survive_gc(writes in prop::collection::vec(0u64..512, 1..600)) {
+        let mut dev = tiny_device(7);
+        let mut now = SimTime::ZERO;
+        let mut written = std::collections::HashSet::new();
+        for &page in &writes {
+            now += SimDuration::from_us(250);
+            let done = dev.write(now, page);
+            prop_assert!(done > now);
+            written.insert(page);
+        }
+        for &page in &written {
+            prop_assert!(
+                dev.ftl().lookup(page).is_some(),
+                "page {page} lost its mapping"
+            );
+        }
+        prop_assert_eq!(dev.ftl().mapped_pages(), written.len());
+    }
+
+    /// Reads always complete after their issue time and never disturb
+    /// the mapping state.
+    #[test]
+    fn reads_are_pure(pages in prop::collection::vec(0u64..2048, 1..200)) {
+        let mut dev = tiny_device(9);
+        // Seed some writes.
+        let mut now = SimTime::ZERO;
+        for p in 0..64u64 {
+            now += SimDuration::from_us(300);
+            dev.write(now, p);
+        }
+        let mapped_before = dev.ftl().mapped_pages();
+        for &page in &pages {
+            now += SimDuration::from_us(60);
+            let done = dev.read(now, page);
+            prop_assert!(done >= now);
+        }
+        prop_assert_eq!(dev.ftl().mapped_pages(), mapped_before);
+        prop_assert_eq!(dev.stats().reads, pages.len() as u64);
+    }
+
+    /// GC-disabled devices never erase, whatever the write stream.
+    #[test]
+    fn disabled_gc_never_erases(writes in prop::collection::vec(0u64..256, 1..400)) {
+        let mut dev = FlashDevice::new(
+            FlashConfig {
+                capacity_bytes: 8 << 20,
+                channels: 1,
+                dies_per_channel: 2,
+                planes_per_die: 1,
+                pages_per_block: 8,
+                ..FlashConfig::default().with_gc_enabled(false)
+            },
+            11,
+        );
+        let mut now = SimTime::ZERO;
+        for &page in &writes {
+            now += SimDuration::from_us(250);
+            dev.write(now, page);
+        }
+        prop_assert_eq!(dev.stats().gc_erases, 0);
+        prop_assert_eq!(dev.total_erases(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Footprint prediction (the paper's §II-A bandwidth optimization:
+//! "use optimizations such as Footprint Cache" [36]).
+//!
+//! A footprint cache fetches only the blocks of a page the processor is
+//! predicted to touch, instead of the whole 4 KiB, cutting the flash
+//! bandwidth Eq. 1 demands. We implement the history-based variant: the
+//! blocks a page's last residency actually touched are remembered at
+//! eviction and prefetched on the next miss to that page; blocks outside
+//! the prediction that do get touched cost a *sub-miss* (a partial
+//! refetch).
+
+use std::collections::HashMap;
+
+/// Per-page footprint history.
+///
+/// Bitmaps are one bit per 64 B block of a 4 KiB page (64 bits exactly).
+#[derive(Debug, Default)]
+pub struct FootprintPredictor {
+    history: HashMap<u64, u64>,
+    predictions: u64,
+    history_hits: u64,
+}
+
+impl FootprintPredictor {
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        FootprintPredictor::default()
+    }
+
+    /// Predicts the blocks worth fetching for `page`, guaranteeing the
+    /// immediately needed `needed_block` is included. Unknown pages
+    /// fetch everything (cold-start safe).
+    pub fn predict(&mut self, page: u64, needed_block: u32) -> u64 {
+        self.predictions += 1;
+        let needed = 1u64 << (needed_block & 63);
+        match self.history.get(&page) {
+            Some(&bits) => {
+                self.history_hits += 1;
+                bits | needed
+            }
+            None => u64::MAX,
+        }
+    }
+
+    /// Records the blocks `page` actually had touched when it was
+    /// evicted.
+    pub fn record(&mut self, page: u64, touched: u64) {
+        // An empty footprint would guarantee a sub-miss next time; keep
+        // at least one block.
+        self.history.insert(page, if touched == 0 { 1 } else { touched });
+    }
+
+    /// Pages with recorded history.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether no history has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Fraction of predictions served from history (vs cold full-page).
+    pub fn history_hit_ratio(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.history_hits as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// Bytes implied by a footprint bitmap (64 B per set bit).
+pub fn footprint_bytes(bitmap: u64) -> u64 {
+    bitmap.count_ones() as u64 * 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_pages_fetch_everything() {
+        let mut p = FootprintPredictor::new();
+        assert_eq!(p.predict(7, 3), u64::MAX);
+        assert_eq!(p.history_hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn history_replays_with_needed_block_added() {
+        let mut p = FootprintPredictor::new();
+        p.record(7, 0b1010);
+        let f = p.predict(7, 0);
+        assert_eq!(f, 0b1011, "needed block 0 must be included");
+        assert!(p.history_hit_ratio() > 0.0);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn empty_footprint_clamped_to_one_block() {
+        let mut p = FootprintPredictor::new();
+        p.record(9, 0);
+        assert_eq!(p.predict(9, 5), 1 | (1 << 5));
+    }
+
+    #[test]
+    fn footprint_bytes_counts_blocks() {
+        assert_eq!(footprint_bytes(0), 0);
+        assert_eq!(footprint_bytes(0b111), 192);
+        assert_eq!(footprint_bytes(u64::MAX), 4096);
+    }
+}

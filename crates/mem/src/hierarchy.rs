@@ -1,0 +1,295 @@
+//! The per-core on-chip cache hierarchy (L1D → L2 → shared LLC).
+//!
+//! On-chip hits are resolved synchronously with fixed latencies; only
+//! LLC misses leave the chip toward the DRAM-cache frontside controller.
+//! LLC MSHR occupancy bounds the number of outstanding off-chip misses.
+
+use crate::sram_cache::SramCache;
+
+/// Hierarchy sizing and latency configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache capacity in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L1 hit latency in nanoseconds.
+    pub l1_latency_ns: u64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 hit latency in nanoseconds.
+    pub l2_latency_ns: u64,
+    /// Shared LLC capacity in bytes (whole chip).
+    pub llc_bytes: u64,
+    /// LLC associativity.
+    pub llc_ways: usize,
+    /// LLC hit latency in nanoseconds.
+    pub llc_latency_ns: u64,
+    /// LLC MSHR entries (outstanding off-chip misses per chip).
+    pub llc_mshrs: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        // Cortex-A76-class (Table I): 64 KB L1, 256 KB/core L2 private,
+        // 1 MB/core LLC in the paper; we size the shared LLC for the
+        // scaled dataset (see DESIGN.md §2) keeping on-chip:DRAM-cache
+        // ratios close to the paper's.
+        HierarchyConfig {
+            l1_bytes: 64 << 10,
+            l1_ways: 4,
+            l1_latency_ns: 1,
+            l2_bytes: 256 << 10,
+            l2_ways: 8,
+            l2_latency_ns: 5,
+            llc_bytes: 4 << 20,
+            llc_ways: 16,
+            llc_latency_ns: 20,
+            llc_mshrs: 64,
+        }
+    }
+}
+
+/// Where an access was satisfied on-chip, or that it must go off-chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierarchyOutcome {
+    /// Hit in L1/L2/LLC after `latency_ns`.
+    OnChipHit {
+        /// Total on-chip latency.
+        latency_ns: u64,
+    },
+    /// Missed everywhere on-chip; the request must probe the DRAM cache.
+    /// `latency_ns` is the on-chip lookup cost already paid.
+    OffChipMiss {
+        /// On-chip traversal cost before going off-chip.
+        latency_ns: u64,
+    },
+}
+
+impl HierarchyOutcome {
+    /// The on-chip latency component.
+    pub fn latency_ns(&self) -> u64 {
+        match self {
+            HierarchyOutcome::OnChipHit { latency_ns }
+            | HierarchyOutcome::OffChipMiss { latency_ns } => *latency_ns,
+        }
+    }
+
+    /// Whether the access was satisfied on-chip.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, HierarchyOutcome::OnChipHit { .. })
+    }
+}
+
+/// Per-core L1/L2 plus a chip-shared LLC.
+///
+/// One instance models the whole chip: `access(core, …)` routes through
+/// that core's private levels into the shared LLC.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    cfg: HierarchyConfig,
+    l1: Vec<SramCache>,
+    l2: Vec<SramCache>,
+    llc: SramCache,
+    llc_mshrs_in_use: usize,
+    mshr_full_events: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores == 0`.
+    pub fn new(cores: usize, cfg: HierarchyConfig) -> Self {
+        assert!(cores > 0);
+        CacheHierarchy {
+            l1: (0..cores)
+                .map(|_| SramCache::new(cfg.l1_bytes, cfg.l1_ways))
+                .collect(),
+            l2: (0..cores)
+                .map(|_| SramCache::new(cfg.l2_bytes, cfg.l2_ways))
+                .collect(),
+            llc: SramCache::new(cfg.llc_bytes, cfg.llc_ways),
+            cfg,
+            llc_mshrs_in_use: 0,
+            mshr_full_events: 0,
+        }
+    }
+
+    /// Runs one access through `core`'s hierarchy.
+    pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> HierarchyOutcome {
+        let c = &self.cfg;
+        if self.l1[core].access(addr, is_write).is_hit() {
+            return HierarchyOutcome::OnChipHit {
+                latency_ns: c.l1_latency_ns,
+            };
+        }
+        if self.l2[core].access(addr, is_write).is_hit() {
+            return HierarchyOutcome::OnChipHit {
+                latency_ns: c.l1_latency_ns + c.l2_latency_ns,
+            };
+        }
+        if self.llc.access(addr, is_write).is_hit() {
+            return HierarchyOutcome::OnChipHit {
+                latency_ns: c.l1_latency_ns + c.l2_latency_ns + c.llc_latency_ns,
+            };
+        }
+        HierarchyOutcome::OffChipMiss {
+            latency_ns: c.l1_latency_ns + c.l2_latency_ns + c.llc_latency_ns,
+        }
+    }
+
+    /// Reserves an LLC MSHR for an off-chip miss; `false` means the
+    /// request must stall until one frees (on-chip caches block, §IV-C1).
+    pub fn try_reserve_mshr(&mut self) -> bool {
+        if self.llc_mshrs_in_use >= self.cfg.llc_mshrs {
+            self.mshr_full_events += 1;
+            false
+        } else {
+            self.llc_mshrs_in_use += 1;
+            true
+        }
+    }
+
+    /// Releases an MSHR (miss satisfied, or reclaimed on an AstriFlash
+    /// miss signal, §IV-C1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no MSHR is outstanding.
+    pub fn release_mshr(&mut self) {
+        assert!(self.llc_mshrs_in_use > 0, "MSHR release underflow");
+        self.llc_mshrs_in_use -= 1;
+    }
+
+    /// Invalidates one block in `core`'s private levels and the shared
+    /// LLC — the resource reclamation on an AstriFlash miss signal
+    /// (§IV-C1): the speculatively filled block must not satisfy the
+    /// post-refill retry.
+    pub fn invalidate_block(&mut self, core: usize, addr: u64) {
+        self.l1[core].invalidate(addr);
+        self.l2[core].invalidate(addr);
+        self.llc.invalidate(addr);
+    }
+
+    /// Invalidates a whole 4 KiB page across all levels (used when the
+    /// DRAM cache evicts a page so on-chip copies cannot serve stale
+    /// data). Returns the number of dirty blocks dropped.
+    pub fn invalidate_page(&mut self, page_base: u64) -> usize {
+        let mut dirty = 0;
+        for block in 0..(4096 / 64) {
+            let addr = page_base + block * 64;
+            for l1 in &mut self.l1 {
+                dirty += usize::from(l1.invalidate(addr));
+            }
+            for l2 in &mut self.l2 {
+                dirty += usize::from(l2.invalidate(addr));
+            }
+            dirty += usize::from(self.llc.invalidate(addr));
+        }
+        dirty
+    }
+
+    /// MSHRs currently reserved.
+    pub fn mshrs_in_use(&self) -> usize {
+        self.llc_mshrs_in_use
+    }
+
+    /// Times a reservation failed because all MSHRs were busy.
+    pub fn mshr_full_events(&self) -> u64 {
+        self.mshr_full_events
+    }
+
+    /// The shared LLC (for stats inspection).
+    pub fn llc(&self) -> &SramCache {
+        &self.llc
+    }
+
+    /// A core's L1 (for stats inspection).
+    pub fn l1(&self, core: usize) -> &SramCache {
+        &self.l1[core]
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> CacheHierarchy {
+        CacheHierarchy::new(2, HierarchyConfig::default())
+    }
+
+    #[test]
+    fn first_access_misses_then_hits_in_l1() {
+        let mut h = chip();
+        let miss = h.access(0, 0x1000, false);
+        assert!(!miss.is_hit());
+        let hit = h.access(0, 0x1000, false);
+        assert_eq!(
+            hit,
+            HierarchyOutcome::OnChipHit {
+                latency_ns: h.config().l1_latency_ns
+            }
+        );
+    }
+
+    #[test]
+    fn other_core_hits_in_shared_llc() {
+        let mut h = chip();
+        h.access(0, 0x2000, false);
+        let out = h.access(1, 0x2000, false);
+        // Core 1 misses its private levels but hits the shared LLC.
+        let expect = h.config().l1_latency_ns + h.config().l2_latency_ns + h.config().llc_latency_ns;
+        assert_eq!(out, HierarchyOutcome::OnChipHit { latency_ns: expect });
+    }
+
+    #[test]
+    fn mshr_reservation_bounds() {
+        let mut h = CacheHierarchy::new(1, HierarchyConfig {
+            llc_mshrs: 2,
+            ..HierarchyConfig::default()
+        });
+        assert!(h.try_reserve_mshr());
+        assert!(h.try_reserve_mshr());
+        assert!(!h.try_reserve_mshr());
+        assert_eq!(h.mshr_full_events(), 1);
+        h.release_mshr();
+        assert!(h.try_reserve_mshr());
+        assert_eq!(h.mshrs_in_use(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn release_without_reserve_panics() {
+        chip().release_mshr();
+    }
+
+    #[test]
+    fn invalidate_page_clears_all_levels() {
+        let mut h = chip();
+        h.access(0, 0x3000, true);
+        h.access(1, 0x3040, false);
+        let dirty = h.invalidate_page(0x3000);
+        assert!(dirty >= 1, "the written block was dirty somewhere");
+        assert!(!h.access(0, 0x3000, false).is_hit());
+    }
+
+    #[test]
+    fn off_chip_miss_reports_full_traversal_cost() {
+        let mut h = chip();
+        let out = h.access(0, 0x0dea_d000, false);
+        let cfg = h.config();
+        assert_eq!(
+            out.latency_ns(),
+            cfg.l1_latency_ns + cfg.l2_latency_ns + cfg.llc_latency_ns
+        );
+    }
+}

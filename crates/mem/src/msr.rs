@@ -1,0 +1,197 @@
+//! The in-DRAM Miss Status Row (§IV-B2).
+//!
+//! On-chip MSHRs are CAM-based and top out at tens of entries; with 50 µs
+//! flash refills the DRAM cache needs *hundreds* of outstanding misses.
+//! AstriFlash stores miss-handling entries in a specialized DRAM row,
+//! organized set-associatively so one CAS retrieves a candidate set. The
+//! backside controller checks it on every miss to deduplicate in-flight
+//! flash reads, and removes the entry when the page arrives.
+
+/// A core/thread pair waiting on a missing page. The hardware notifies
+/// waiters through queue pairs (§IV-D2); the simulator keeps them inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter {
+    /// Requesting core.
+    pub core: u32,
+    /// Requesting user-level thread on that core.
+    pub thread: u32,
+}
+
+/// Outcome of an MSR admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsrAdmission {
+    /// A flash read for this page is already in flight; the waiter was
+    /// appended, no new read must be issued.
+    Duplicate,
+    /// A new entry was allocated; the caller must issue the flash read.
+    Inserted,
+    /// The entry's set is full; the request must wait for completions
+    /// (§IV-B2: "BC waits for pending flash requests to finish").
+    Full,
+}
+
+#[derive(Debug)]
+struct Entry {
+    page: u64,
+    waiters: Vec<Waiter>,
+}
+
+/// The Miss Status Row: a set-associative table of outstanding misses.
+#[derive(Debug)]
+pub struct MissStatusRow {
+    sets: Vec<Vec<Entry>>,
+    ways: usize,
+    occupancy: usize,
+    max_occupancy: usize,
+    duplicates: u64,
+    full_rejections: u64,
+}
+
+impl MissStatusRow {
+    /// Creates an MSR with `sets × ways` total entries.
+    ///
+    /// The paper's MSR is one 8 KiB DRAM row of 8 B entries = 1024
+    /// entries; the default composer uses 64 sets × 8 ways = 512.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0);
+        MissStatusRow {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            occupancy: 0,
+            max_occupancy: 0,
+            duplicates: 0,
+            full_rejections: 0,
+        }
+    }
+
+    fn set_of(&self, page: u64) -> usize {
+        (page % self.sets.len() as u64) as usize
+    }
+
+    /// Admits a miss for `page` from `waiter`.
+    pub fn admit(&mut self, page: u64, waiter: Waiter) -> MsrAdmission {
+        let set_idx = self.set_of(page);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.page == page) {
+            e.waiters.push(waiter);
+            self.duplicates += 1;
+            return MsrAdmission::Duplicate;
+        }
+        if set.len() >= ways {
+            self.full_rejections += 1;
+            return MsrAdmission::Full;
+        }
+        set.push(Entry {
+            page,
+            waiters: vec![waiter],
+        });
+        self.occupancy += 1;
+        self.max_occupancy = self.max_occupancy.max(self.occupancy);
+        MsrAdmission::Inserted
+    }
+
+    /// Completes the miss for `page`, returning its waiters (empty vec if
+    /// no entry existed — e.g. a prefetch the composer issued directly).
+    pub fn complete(&mut self, page: u64) -> Vec<Waiter> {
+        let set_idx = self.set_of(page);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.page == page) {
+            self.occupancy -= 1;
+            set.swap_remove(pos).waiters
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Whether a miss for `page` is in flight.
+    pub fn is_pending(&self, page: u64) -> bool {
+        self.sets[self.set_of(page)].iter().any(|e| e.page == page)
+    }
+
+    /// Outstanding misses.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// High-water mark of outstanding misses.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Requests deduplicated against an in-flight miss.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Admissions rejected because the target set was full.
+    pub fn full_rejections(&self) -> u64 {
+        self.full_rejections
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W0: Waiter = Waiter { core: 0, thread: 0 };
+    const W1: Waiter = Waiter { core: 1, thread: 5 };
+
+    #[test]
+    fn insert_then_duplicate_then_complete() {
+        let mut msr = MissStatusRow::new(4, 2);
+        assert_eq!(msr.admit(10, W0), MsrAdmission::Inserted);
+        assert_eq!(msr.admit(10, W1), MsrAdmission::Duplicate);
+        assert!(msr.is_pending(10));
+        assert_eq!(msr.occupancy(), 1);
+        let waiters = msr.complete(10);
+        assert_eq!(waiters, vec![W0, W1]);
+        assert!(!msr.is_pending(10));
+        assert_eq!(msr.occupancy(), 0);
+        assert_eq!(msr.duplicates(), 1);
+    }
+
+    #[test]
+    fn set_full_rejects() {
+        let mut msr = MissStatusRow::new(2, 1);
+        // Pages 0 and 2 map to set 0 (mod 2).
+        assert_eq!(msr.admit(0, W0), MsrAdmission::Inserted);
+        assert_eq!(msr.admit(2, W0), MsrAdmission::Full);
+        assert_eq!(msr.full_rejections(), 1);
+        // Other set unaffected.
+        assert_eq!(msr.admit(1, W0), MsrAdmission::Inserted);
+        // Completion frees the way.
+        msr.complete(0);
+        assert_eq!(msr.admit(2, W0), MsrAdmission::Inserted);
+    }
+
+    #[test]
+    fn complete_unknown_page_is_empty() {
+        let mut msr = MissStatusRow::new(2, 2);
+        assert!(msr.complete(99).is_empty());
+    }
+
+    #[test]
+    fn tracks_hundreds_of_concurrent_misses() {
+        // The paper's point: MSR capacity far exceeds SRAM MSHRs.
+        let mut msr = MissStatusRow::new(64, 8);
+        assert_eq!(msr.capacity(), 512);
+        let mut inserted = 0;
+        for page in 0..512u64 {
+            if msr.admit(page, W0) == MsrAdmission::Inserted {
+                inserted += 1;
+            }
+        }
+        assert_eq!(inserted, 512, "uniform pages fill every set");
+        assert_eq!(msr.max_occupancy(), 512);
+    }
+}

@@ -1,0 +1,268 @@
+//! Set-associative SRAM cache (L1/L2/LLC) with true-LRU replacement and
+//! write-back, write-allocate semantics.
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The block was present.
+    Hit,
+    /// The block was absent; it has been filled. If the fill evicted a
+    /// dirty block, its address is carried for writeback.
+    Miss {
+        /// Dirty victim that must be written back a level down.
+        evicted_dirty: Option<u64>,
+    },
+}
+
+impl AccessResult {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessResult::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A set-associative cache over 64 B blocks.
+///
+/// # Example
+///
+/// ```
+/// use astriflash_mem::SramCache;
+/// let mut l1 = SramCache::new(32 * 1024, 8);
+/// assert!(!l1.access(0x1000, false).is_hit()); // cold miss
+/// assert!(l1.access(0x1000, false).is_hit());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramCache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    set_mask: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+const BLOCK_SHIFT: u32 = 6; // 64 B blocks
+
+impl SramCache {
+    /// Creates a cache of `capacity_bytes` with `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two number of sets or if
+    /// capacity is smaller than one way of blocks.
+    pub fn new(capacity_bytes: u64, ways: usize) -> Self {
+        assert!(ways > 0);
+        let blocks = capacity_bytes >> BLOCK_SHIFT;
+        assert!(blocks >= ways as u64, "capacity below one set");
+        let num_sets = (blocks / ways as u64).next_power_of_two();
+        let num_sets = if num_sets * (ways as u64) > blocks {
+            num_sets / 2
+        } else {
+            num_sets
+        }
+        .max(1);
+        SramCache {
+            sets: vec![Vec::with_capacity(ways); num_sets as usize],
+            ways,
+            set_mask: num_sets - 1,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> BLOCK_SHIFT;
+        // Store the full block number as the tag: costs a few bits of
+        // model memory but makes victim-address reconstruction exact.
+        ((block & self.set_mask) as usize, block)
+    }
+
+    /// Accesses `addr`; on a miss the block is filled (write-allocate).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let (idx, tag) = self.index_tag(addr);
+        let ways = self.ways;
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return AccessResult::Hit;
+        }
+        self.misses += 1;
+        let mut evicted_dirty = None;
+        if set.len() >= ways {
+            let victim_pos = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("full set has a victim");
+            let victim = set.swap_remove(victim_pos);
+            if victim.dirty {
+                self.writebacks += 1;
+                evicted_dirty = Some(victim.tag << BLOCK_SHIFT);
+            }
+        }
+        set.push(Line {
+            tag,
+            dirty: is_write,
+            lru: tick,
+        });
+        AccessResult::Miss { evicted_dirty }
+    }
+
+    /// Whether `addr`'s block is present (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (idx, tag) = self.index_tag(addr);
+        self.sets[idx].iter().any(|l| l.tag == tag)
+    }
+
+    /// Invalidates `addr`'s block if present; returns whether it was
+    /// dirty.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (idx, tag) = self.index_tag(addr);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            set.swap_remove(pos).dirty
+        } else {
+            false
+        }
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty writebacks produced.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Hit ratio in `[0, 1]` (0 before any access).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_is_power_of_two_sets() {
+        let c = SramCache::new(32 * 1024, 8);
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.ways(), 8);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = SramCache::new(4096, 4);
+        assert!(!c.access(0x40, false).is_hit());
+        assert!(c.access(0x40, false).is_hit());
+        assert!(c.access(0x7f, false).is_hit(), "same block");
+        assert!(!c.access(0x80, false).is_hit(), "next block");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 4-way, map everything into one set by stepping by set stride.
+        let mut c = SramCache::new(4096, 4);
+        let stride = (c.num_sets() as u64) << BLOCK_SHIFT;
+        for i in 0..4u64 {
+            c.access(i * stride, false);
+        }
+        // Touch block 0 to refresh it, then add a 5th block: victim must
+        // be block 1 (oldest untouched).
+        c.access(0, false);
+        c.access(4 * stride, false);
+        assert!(c.contains(0));
+        assert!(!c.contains(stride));
+        assert!(c.contains(2 * stride));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = SramCache::new(4096, 2);
+        let stride = (c.num_sets() as u64) << BLOCK_SHIFT;
+        c.access(0, true); // dirty
+        c.access(stride, false);
+        let res = c.access(2 * stride, false); // evicts block 0
+        match res {
+            AccessResult::Miss {
+                evicted_dirty: Some(victim),
+            } => {
+                // Victim must map back to the same set.
+                assert_eq!((victim >> BLOCK_SHIFT) & (c.num_sets() as u64 - 1), 0);
+            }
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_reports_dirty() {
+        let mut c = SramCache::new(4096, 2);
+        c.access(0x100, true);
+        assert!(c.invalidate(0x100));
+        assert!(!c.contains(0x100));
+        assert!(!c.invalidate(0x100), "second invalidate is a no-op");
+    }
+
+    #[test]
+    fn hit_ratio_tracks() {
+        let mut c = SramCache::new(4096, 2);
+        assert_eq!(c.hit_ratio(), 0.0);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_blocks_do_not_alias() {
+        let mut c = SramCache::new(1 << 20, 16);
+        for i in 0..1000u64 {
+            c.access(i * 64, false);
+        }
+        let miss_then = c.misses();
+        for i in 0..1000u64 {
+            assert!(c.access(i * 64, false).is_hit(), "block {i} lost");
+        }
+        assert_eq!(c.misses(), miss_then);
+    }
+}

@@ -1,0 +1,137 @@
+//! Demand-paging (OS-Swap) cost model (§II-C, §III-A).
+//!
+//! Every page fault in the baseline pays: the fault trap and handler,
+//! the kernel storage stack + NVMe submission (up to ~10 µs in total
+//! with the page-cache check), a context switch out (~5 µs) and back in,
+//! and — on page installs/evictions — a broadcast TLB shootdown. The
+//! paper's analytical model (§III-A, Fig. 3) lumps core+memory-side
+//! overhead at ~10 µs per flash access; the defaults here decompose
+//! that figure.
+
+use astriflash_sim::SimDuration;
+
+use crate::shootdown::ShootdownModel;
+
+/// Cost components of OS demand paging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OsPagingCosts {
+    /// Trap entry + fault-handler execution, ns.
+    pub fault_handler_ns: u64,
+    /// Page-cache check + storage stack + NVMe driver submission, ns.
+    pub io_submit_ns: u64,
+    /// One OS context switch (scheduling policy included), ns (§II-C
+    /// cites ~5 µs; a fault costs one switch out and one back in).
+    pub context_switch_ns: u64,
+    /// Page-install bookkeeping: page-table update + victim selection,
+    /// ns.
+    pub install_ns: u64,
+    /// Evictions batched per TLB shootdown: the kernel reclaims pages in
+    /// batches (Linux swap clusters) and issues one broadcast flush per
+    /// batch, amortizing the IPI cost.
+    pub evictions_per_shootdown: u32,
+    /// The shootdown model used for mapping changes.
+    pub shootdown: ShootdownModel,
+}
+
+impl Default for OsPagingCosts {
+    fn default() -> Self {
+        OsPagingCosts {
+            fault_handler_ns: 1_000,
+            io_submit_ns: 2_500,
+            context_switch_ns: 2_500,
+            install_ns: 1_000,
+            evictions_per_shootdown: 32,
+            shootdown: ShootdownModel::default(),
+        }
+    }
+}
+
+/// Per-fault cost breakdown on the faulting core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFaultBreakdown {
+    /// Synchronous cost before the core can switch to another task
+    /// (trap + handler + I/O submit + switch out), ns.
+    pub before_switch_ns: u64,
+    /// Cost when the fault completes (switch back in + install +
+    /// initiator side of the shootdown), ns.
+    pub after_completion_ns: u64,
+    /// Interrupt time charged to *each other* core by the shootdown, ns.
+    pub responder_ns: u64,
+}
+
+impl PageFaultBreakdown {
+    /// Total overhead on the faulting core, ns.
+    pub fn faulting_core_total_ns(&self) -> u64 {
+        self.before_switch_ns + self.after_completion_ns
+    }
+}
+
+impl OsPagingCosts {
+    /// The overheads of one demand-paging fault on a `cores`-core
+    /// machine (flash access time not included — it is overlapped by the
+    /// context switch). Shootdown costs are amortized over the eviction
+    /// batch.
+    pub fn fault_breakdown(&self, cores: usize) -> PageFaultBreakdown {
+        let batch = self.evictions_per_shootdown.max(1) as u64;
+        PageFaultBreakdown {
+            before_switch_ns: self.fault_handler_ns + self.io_submit_ns + self.context_switch_ns,
+            after_completion_ns: self.context_switch_ns
+                + self.install_ns
+                + self.shootdown.initiator_latency(cores).as_ns() / batch,
+            responder_ns: self.shootdown.responder_latency().as_ns() / batch,
+        }
+    }
+
+    /// Convenience: the faulting core's total per-fault overhead.
+    pub fn per_fault_overhead(&self, cores: usize) -> SimDuration {
+        SimDuration::from_ns(self.fault_breakdown(cores).faulting_core_total_ns())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_core_fault_is_10us_class() {
+        // §III-A assumes ~10 µs of paging overhead per flash access.
+        let costs = OsPagingCosts::default();
+        let total = costs.per_fault_overhead(16).as_ns();
+        assert!(
+            (8_000..20_000).contains(&total),
+            "per-fault overhead {total}ns"
+        );
+    }
+
+    #[test]
+    fn overhead_grows_with_core_count() {
+        let costs = OsPagingCosts::default();
+        assert!(costs.per_fault_overhead(64) > costs.per_fault_overhead(4));
+    }
+
+    #[test]
+    fn breakdown_components_sum() {
+        let costs = OsPagingCosts::default();
+        let b = costs.fault_breakdown(8);
+        assert_eq!(
+            b.faulting_core_total_ns(),
+            b.before_switch_ns + b.after_completion_ns
+        );
+        assert!(b.before_switch_ns >= costs.io_submit_ns);
+        // Shootdown costs are amortized over the eviction batch.
+        assert_eq!(
+            b.responder_ns,
+            costs.shootdown.responder_latency().as_ns()
+                / costs.evictions_per_shootdown as u64
+        );
+    }
+
+    #[test]
+    fn unbatched_shootdowns_cost_more() {
+        let mut costs = OsPagingCosts::default();
+        let batched = costs.per_fault_overhead(16);
+        costs.evictions_per_shootdown = 1;
+        let unbatched = costs.per_fault_overhead(16);
+        assert!(unbatched > batched);
+    }
+}

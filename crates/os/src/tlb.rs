@@ -1,0 +1,165 @@
+//! A set-associative TLB over 4 KiB pages.
+
+/// TLB access outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbResult {
+    /// Translation cached.
+    Hit,
+    /// Translation absent: a page-table walk is required. The entry is
+    /// filled (the walker's result is installed).
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpn: u64,
+    lru: u64,
+}
+
+/// A unified second-level TLB model (the first level is folded into the
+/// hit latency, which is ~0 for a pipelined L1 TLB).
+///
+/// # Example
+///
+/// ```
+/// use astriflash_os::Tlb;
+/// let mut tlb = Tlb::new(1536, 6);
+/// assert_eq!(tlb.access(5), astriflash_os::tlb::TlbResult::Miss);
+/// assert_eq!(tlb.access(5), astriflash_os::tlb::TlbResult::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    sets: Vec<Vec<TlbEntry>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB of `entries` total with `ways` associativity
+    /// (entries are rounded down to a whole number of sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < ways` or `ways == 0`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries >= ways);
+        let sets = (entries / ways).max(1);
+        Tlb {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `vpn`, filling on miss.
+    pub fn access(&mut self, vpn: u64) -> TlbResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_of(vpn);
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.vpn == vpn) {
+            e.lru = tick;
+            self.hits += 1;
+            return TlbResult::Hit;
+        }
+        self.misses += 1;
+        if set.len() >= ways {
+            let pos = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full set");
+            set.swap_remove(pos);
+        }
+        set.push(TlbEntry { vpn, lru: tick });
+        TlbResult::Miss
+    }
+
+    /// Invalidates `vpn` (one shootdown target). Returns whether it was
+    /// present.
+    pub fn invalidate(&mut self, vpn: u64) -> bool {
+        let set_idx = self.set_of(vpn);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.vpn == vpn) {
+            set.swap_remove(pos);
+            self.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidations performed.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Miss ratio so far.
+    pub fn miss_ratio(&self) -> f64 {
+        let t = self.hits + self.misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.misses as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_fill_hit() {
+        let mut tlb = Tlb::new(16, 4);
+        assert_eq!(tlb.access(100), TlbResult::Miss);
+        assert_eq!(tlb.access(100), TlbResult::Hit);
+        assert_eq!(tlb.hits(), 1);
+        assert_eq!(tlb.misses(), 1);
+        assert!((tlb.miss_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut tlb = Tlb::new(4, 2); // 2 sets × 2 ways
+        // vpns 0,2,4 all map to set 0.
+        tlb.access(0);
+        tlb.access(2);
+        tlb.access(0); // refresh 0
+        tlb.access(4); // evicts 2
+        assert_eq!(tlb.access(0), TlbResult::Hit);
+        assert_eq!(tlb.access(2), TlbResult::Miss);
+    }
+
+    #[test]
+    fn invalidate_forces_rewalk() {
+        let mut tlb = Tlb::new(16, 4);
+        tlb.access(7);
+        assert!(tlb.invalidate(7));
+        assert!(!tlb.invalidate(7));
+        assert_eq!(tlb.access(7), TlbResult::Miss);
+        assert_eq!(tlb.invalidations(), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Bounded FIFO queues with occupancy accounting.
+//!
+//! Hardware queues (the backside-controller miss queue, flash channel
+//! queues, per-core job queues) are finite; when they fill, upstream
+//! producers stall. `BoundedQueue` tracks occupancy statistics so
+//! experiments can report time-averaged depth and rejection counts.
+
+use std::collections::VecDeque;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A bounded FIFO with time-weighted occupancy statistics.
+///
+/// # Example
+///
+/// ```
+/// use astriflash_sim::{BoundedQueue, SimTime};
+/// let mut q = BoundedQueue::new(2);
+/// assert!(q.push(SimTime::ZERO, 'a').is_ok());
+/// assert!(q.push(SimTime::ZERO, 'b').is_ok());
+/// assert!(q.push(SimTime::ZERO, 'c').is_err()); // full
+/// assert_eq!(q.pop(SimTime::from_ns(5)), Some('a'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    rejected: u64,
+    accepted: u64,
+    // Time-weighted occupancy integral for mean-depth reporting.
+    last_change: SimTime,
+    depth_time_product: u128,
+    max_depth_seen: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            rejected: 0,
+            accepted: 0,
+            last_change: SimTime::ZERO,
+            depth_time_product: 0,
+            max_depth_seen: 0,
+        }
+    }
+
+    fn account(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_change).as_ns() as u128;
+        self.depth_time_product += dt * self.items.len() as u128;
+        self.last_change = now;
+    }
+
+    /// Attempts to enqueue; on a full queue returns the item back as `Err`
+    /// and counts a rejection.
+    pub fn push(&mut self, now: SimTime, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.account(now);
+        self.items.push_back(item);
+        self.accepted += 1;
+        self.max_depth_seen = self.max_depth_seen.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self, now: SimTime) -> Option<T> {
+        self.account(now);
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rejected (queue-full) push attempts.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Number of successful pushes.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Highest occupancy ever reached.
+    pub fn max_depth_seen(&self) -> usize {
+        self.max_depth_seen
+    }
+
+    /// Time-averaged depth over `[0, now]`.
+    pub fn mean_depth(&self, now: SimTime) -> f64 {
+        let dt = now.saturating_since(self.last_change).as_ns() as u128;
+        let integral = self.depth_time_product + dt * self.items.len() as u128;
+        let elapsed = now.as_ns();
+        if elapsed == 0 {
+            0.0
+        } else {
+            integral as f64 / elapsed as f64
+        }
+    }
+
+    /// Iterates items front-to-back without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes and returns the first item matching `pred`, preserving the
+    /// order of the others. Linear scan — fine for the short hardware
+    /// queues this models.
+    pub fn remove_first_where<F: FnMut(&T) -> bool>(
+        &mut self,
+        now: SimTime,
+        mut pred: F,
+    ) -> Option<T> {
+        let idx = self.items.iter().position(&mut pred)?;
+        self.account(now);
+        self.items.remove(idx)
+    }
+}
+
+/// Convenience: how long an item admitted at `enq` has waited by `now`.
+pub fn wait_time(enq: SimTime, now: SimTime) -> SimDuration {
+    now.saturating_since(enq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(SimTime::ZERO, i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(SimTime::ZERO), Some(i));
+        }
+        assert_eq!(q.pop(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut q = BoundedQueue::new(1);
+        q.push(SimTime::ZERO, 'x').unwrap();
+        assert_eq!(q.push(SimTime::ZERO, 'y'), Err('y'));
+        assert_eq!(q.rejected(), 1);
+        assert_eq!(q.accepted(), 1);
+        assert!(q.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn mean_depth_time_weighted() {
+        let mut q = BoundedQueue::new(8);
+        // Depth 1 during [0, 100), depth 2 during [100, 200).
+        q.push(SimTime::ZERO, 1).unwrap();
+        q.push(SimTime::from_ns(100), 2).unwrap();
+        let mean = q.mean_depth(SimTime::from_ns(200));
+        assert!((mean - 1.5).abs() < 1e-9, "mean was {mean}");
+        assert_eq!(q.max_depth_seen(), 2);
+    }
+
+    #[test]
+    fn remove_first_where_preserves_order() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(SimTime::ZERO, i).unwrap();
+        }
+        assert_eq!(q.remove_first_where(SimTime::ZERO, |&x| x == 2), Some(2));
+        assert_eq!(q.remove_first_where(SimTime::ZERO, |&x| x == 9), None);
+        let rest: Vec<i32> = std::iter::from_fn(|| q.pop(SimTime::ZERO)).collect();
+        assert_eq!(rest, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn wait_time_helper() {
+        let w = wait_time(SimTime::from_ns(10), SimTime::from_ns(35));
+        assert_eq!(w.as_ns(), 25);
+    }
+}

@@ -1,0 +1,112 @@
+//! Simple monotonically increasing counters and rate meters.
+
+/// A named monotonic event counter.
+///
+/// # Example
+///
+/// ```
+/// use astriflash_stats::Counter;
+/// let mut c = Counter::new("dram_cache_misses");
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+
+    /// Counter name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// Events-per-second meter over an explicit elapsed time.
+///
+/// Simulations know their own clock, so the meter is fed elapsed
+/// nanoseconds rather than reading a wall clock.
+#[derive(Debug, Clone, Default)]
+pub struct RateMeter {
+    events: u64,
+}
+
+impl RateMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        RateMeter::default()
+    }
+
+    /// Records `n` events.
+    pub fn record(&mut self, n: u64) {
+        self.events += n;
+    }
+
+    /// Total events recorded.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Rate in events/second over `elapsed_ns` of simulated time.
+    /// Returns 0 if no time has elapsed.
+    pub fn rate_per_sec(&self, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1e9 / elapsed_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        let mut c = Counter::new("x");
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.name(), "x");
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn rate_meter_computes_rate() {
+        let mut m = RateMeter::new();
+        m.record(500);
+        // 500 events over 1 ms = 500k/s.
+        assert!((m.rate_per_sec(1_000_000) - 500_000.0).abs() < 1e-6);
+        assert_eq!(m.rate_per_sec(0), 0.0);
+        assert_eq!(m.events(), 500);
+    }
+}

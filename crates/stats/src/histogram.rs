@@ -1,0 +1,314 @@
+//! Log-bucketed histogram for latency distributions.
+//!
+//! Values are bucketed with 64 linear sub-buckets per power of two, giving
+//! a worst-case relative error under 1.6 % — more than enough to resolve
+//! the paper's p99 comparisons — while covering the full `u64` range in
+//! ~64 KiB per histogram.
+
+use crate::percentile::Percentile;
+
+const SUB_BUCKET_BITS: u32 = 6; // 64 sub-buckets per octave
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// A fixed-memory, mergeable latency histogram.
+///
+/// Records `u64` values (nanoseconds by convention) and answers
+/// percentile, mean, min and max queries.
+///
+/// # Example
+///
+/// ```
+/// use astriflash_stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(100);
+/// h.record(200);
+/// assert_eq!(h.count(), 2);
+/// assert!(h.mean() > 100.0 && h.mean() < 210.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros(); // >= SUB_BUCKET_BITS here
+    let shift = octave - SUB_BUCKET_BITS;
+    let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+    // Octave SUB_BUCKET_BITS starts right after the SUB_BUCKETS linear slots.
+    SUB_BUCKETS + ((octave - SUB_BUCKET_BITS) as usize) * SUB_BUCKETS + sub
+}
+
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let rel = index - SUB_BUCKETS;
+    let octave = SUB_BUCKET_BITS + (rel / SUB_BUCKETS) as u32;
+    let sub = (rel % SUB_BUCKETS) as u64;
+    let shift = octave - SUB_BUCKET_BITS;
+    // Highest value that maps to this bucket.
+    (((1u64 << SUB_BUCKET_BITS) + sub) << shift) + ((1u64 << shift) - 1)
+}
+
+const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BUCKET_BITS as usize) * SUB_BUCKETS;
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical observations.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(value)] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at the given percentile (upper bucket bound, so the reported
+    /// value is ≥ the true percentile, never below it by more than the
+    /// bucket width).
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn value_at(&self, p: Percentile) -> u64 {
+        self.value_at_quantile(p.as_fraction())
+    }
+
+    /// Value at an arbitrary quantile `q ∈ [0, 1]`.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_bound(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Resets to empty without releasing memory.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Fraction of observations at or below `value`.
+    pub fn fraction_at_or_below(&self, value: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let idx = bucket_index(value);
+        let below: u64 = self.buckets[..=idx].iter().sum();
+        below as f64 / self.count as f64
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_bounds() {
+        for value in [0u64, 1, 63, 64, 65, 100, 1000, 1 << 20, u64::MAX / 2] {
+            let idx = bucket_index(value);
+            let ub = bucket_upper_bound(idx);
+            assert!(ub >= value, "value {value} idx {idx} ub {ub}");
+            // Upper bound itself maps to the same bucket.
+            assert_eq!(bucket_index(ub), idx, "value {value}");
+            // Relative error bounded by one sub-bucket width.
+            if value >= SUB_BUCKETS as u64 {
+                assert!(
+                    (ub - value) as f64 / value as f64 <= 1.0 / SUB_BUCKETS as f64 + 1e-12,
+                    "value {value} ub {ub}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.value_at_quantile(0.5), 31);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+    }
+
+    #[test]
+    fn percentiles_monotone() {
+        let mut h = Histogram::new();
+        let mut x = 12345u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x % 1_000_000);
+        }
+        let mut last = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.value_at_quantile(q);
+            assert!(v >= last, "quantile {q} regressed: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn p99_close_to_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let p99 = h.value_at(Percentile::P99) as f64;
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.02, "p99 {p99}");
+    }
+
+    #[test]
+    fn mean_and_count() {
+        let mut h = Histogram::new();
+        h.record_n(10, 3);
+        h.record(20);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert!(a.max() >= 500);
+    }
+
+    #[test]
+    fn empty_histogram_queries() {
+        let h = Histogram::new();
+        assert_eq!(h.value_at(Percentile::P99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(42);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.5), 0);
+    }
+
+    #[test]
+    fn fraction_at_or_below() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert!((h.fraction_at_or_below(2) - 0.5).abs() < 1e-9);
+        assert!((h.fraction_at_or_below(100) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_n(10, 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.value_at_quantile(1.0) >= u64::MAX - 1);
+    }
+}

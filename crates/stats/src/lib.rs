@@ -1,0 +1,37 @@
+//! Measurement substrate: histograms, percentiles, counters, and run
+//! summaries used by every AstriFlash experiment.
+//!
+//! The core type is [`Histogram`], a log-bucketed latency histogram
+//! (HDR-style) giving ~1 % relative error across ns-to-seconds ranges in a
+//! few KiB of memory — exactly what tail-latency experiments need.
+//!
+//! # Example
+//!
+//! ```
+//! use astriflash_stats::{Histogram, Percentile};
+//!
+//! let mut h = Histogram::new();
+//! for v in 1..=1000u64 {
+//!     h.record(v);
+//! }
+//! let p99 = h.value_at(Percentile::P99);
+//! assert!((980..=1010).contains(&p99));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod csv;
+pub mod histogram;
+pub mod moments;
+pub mod percentile;
+pub mod summary;
+pub mod table;
+
+pub use counter::{Counter, RateMeter};
+pub use csv::CsvDoc;
+pub use histogram::Histogram;
+pub use moments::OnlineStats;
+pub use percentile::Percentile;
+pub use summary::MetricSet;
+pub use table::TextTable;

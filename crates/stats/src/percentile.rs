@@ -1,0 +1,105 @@
+//! Named percentiles and exact reference computation.
+
+use std::fmt;
+
+/// Commonly reported percentiles.
+///
+/// # Example
+///
+/// ```
+/// use astriflash_stats::Percentile;
+/// assert_eq!(Percentile::P99.as_fraction(), 0.99);
+/// assert_eq!(Percentile::P99.to_string(), "p99");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Percentile {
+    P50,
+    P90,
+    P95,
+    P99,
+    P999,
+    P9999,
+}
+
+impl Percentile {
+    /// The percentile as a fraction in `(0, 1)`.
+    pub fn as_fraction(self) -> f64 {
+        match self {
+            Percentile::P50 => 0.50,
+            Percentile::P90 => 0.90,
+            Percentile::P95 => 0.95,
+            Percentile::P99 => 0.99,
+            Percentile::P999 => 0.999,
+            Percentile::P9999 => 0.9999,
+        }
+    }
+
+    /// All variants, in ascending order.
+    pub fn all() -> [Percentile; 6] {
+        [
+            Percentile::P50,
+            Percentile::P90,
+            Percentile::P95,
+            Percentile::P99,
+            Percentile::P999,
+            Percentile::P9999,
+        ]
+    }
+}
+
+impl fmt::Display for Percentile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Percentile::P50 => "p50",
+            Percentile::P90 => "p90",
+            Percentile::P95 => "p95",
+            Percentile::P99 => "p99",
+            Percentile::P999 => "p99.9",
+            Percentile::P9999 => "p99.99",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Exact percentile of a slice (nearest-rank method). Used as the test
+/// oracle for [`crate::Histogram`].
+///
+/// Returns `None` for an empty slice.
+pub fn exact_percentile(values: &mut [u64], q: f64) -> Option<u64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_unstable();
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+    Some(values[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_ascend() {
+        let all = Percentile::all();
+        for w in all.windows(2) {
+            assert!(w[0].as_fraction() < w[1].as_fraction());
+        }
+    }
+
+    #[test]
+    fn exact_percentile_nearest_rank() {
+        let mut v = vec![10, 20, 30, 40, 50];
+        assert_eq!(exact_percentile(&mut v, 0.5), Some(30));
+        assert_eq!(exact_percentile(&mut v, 1.0), Some(50));
+        assert_eq!(exact_percentile(&mut v, 0.0), Some(10));
+        assert_eq!(exact_percentile(&mut [], 0.5), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Percentile::P999.to_string(), "p99.9");
+        assert_eq!(Percentile::P50.to_string(), "p50");
+    }
+}

@@ -1,0 +1,194 @@
+//! Ordered named-metric collections for run reports.
+//!
+//! Experiments accumulate heterogeneous metrics (counts, rates, ratios,
+//! latencies); `MetricSet` keeps them ordered and renders them uniformly.
+
+use std::fmt;
+
+/// A single metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// An integer count.
+    Count(u64),
+    /// A dimensionless or unit-carrying float.
+    Float(f64),
+    /// A latency in nanoseconds (displayed human-scaled).
+    LatencyNs(u64),
+    /// A free-form label.
+    Text(String),
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricValue::Count(v) => write!(f, "{v}"),
+            MetricValue::Float(v) => write!(f, "{v:.4}"),
+            MetricValue::LatencyNs(ns) => {
+                let ns = *ns;
+                if ns >= 1_000_000_000 {
+                    write!(f, "{:.3}s", ns as f64 / 1e9)
+                } else if ns >= 1_000_000 {
+                    write!(f, "{:.3}ms", ns as f64 / 1e6)
+                } else if ns >= 1_000 {
+                    write!(f, "{:.3}us", ns as f64 / 1e3)
+                } else {
+                    write!(f, "{ns}ns")
+                }
+            }
+            MetricValue::Text(s) => f.write_str(s),
+        }
+    }
+}
+
+/// An insertion-ordered set of named metrics.
+///
+/// # Example
+///
+/// ```
+/// use astriflash_stats::MetricSet;
+/// let mut m = MetricSet::new();
+/// m.set_count("jobs", 100);
+/// m.set_float("throughput_norm", 0.95);
+/// assert_eq!(m.count("jobs"), Some(100));
+/// assert!(m.render().contains("throughput_norm"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricSet {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    fn set(&mut self, name: &str, value: MetricValue) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            e.1 = value;
+        } else {
+            self.entries.push((name.to_string(), value));
+        }
+    }
+
+    /// Sets an integer count metric (replacing any existing value).
+    pub fn set_count(&mut self, name: &str, v: u64) {
+        self.set(name, MetricValue::Count(v));
+    }
+
+    /// Sets a float metric.
+    pub fn set_float(&mut self, name: &str, v: f64) {
+        self.set(name, MetricValue::Float(v));
+    }
+
+    /// Sets a latency metric in nanoseconds.
+    pub fn set_latency_ns(&mut self, name: &str, v: u64) {
+        self.set(name, MetricValue::LatencyNs(v));
+    }
+
+    /// Sets a text metric.
+    pub fn set_text(&mut self, name: &str, v: impl Into<String>) {
+        self.set(name, MetricValue::Text(v.into()));
+    }
+
+    /// Gets a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Gets a count metric's value.
+    pub fn count(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Count(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gets a float metric's value (also accepts counts and latencies).
+    pub fn float(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Float(v) => Some(*v),
+            MetricValue::Count(v) => Some(*v as f64),
+            MetricValue::LatencyNs(v) => Some(*v as f64),
+            MetricValue::Text(_) => None,
+        }
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Renders as aligned `name: value` lines.
+    pub fn render(&self) -> String {
+        let width = self.entries.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            out.push_str(&format!("{name:<width$} : {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut m = MetricSet::new();
+        m.set_count("a", 1);
+        m.set_float("b", 2.5);
+        m.set_latency_ns("c", 1500);
+        m.set_text("d", "hello");
+        assert_eq!(m.count("a"), Some(1));
+        assert_eq!(m.float("b"), Some(2.5));
+        assert_eq!(m.float("c"), Some(1500.0));
+        assert_eq!(m.count("missing"), None);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn replaces_existing_value() {
+        let mut m = MetricSet::new();
+        m.set_count("x", 1);
+        m.set_count("x", 2);
+        assert_eq!(m.count("x"), Some(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn render_aligns_names() {
+        let mut m = MetricSet::new();
+        m.set_count("short", 1);
+        m.set_count("much_longer_name", 2);
+        let r = m.render();
+        assert!(r.contains("short            : 1"));
+        assert!(r.contains("much_longer_name : 2"));
+    }
+
+    #[test]
+    fn latency_display_scales() {
+        assert_eq!(MetricValue::LatencyNs(999).to_string(), "999ns");
+        assert_eq!(MetricValue::LatencyNs(1_500).to_string(), "1.500us");
+        assert_eq!(MetricValue::LatencyNs(2_000_000).to_string(), "2.000ms");
+        assert_eq!(MetricValue::LatencyNs(3_000_000_000).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn float_of_text_is_none() {
+        let mut m = MetricSet::new();
+        m.set_text("t", "x");
+        assert_eq!(m.float("t"), None);
+    }
+}

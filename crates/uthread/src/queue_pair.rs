@@ -1,0 +1,138 @@
+//! Completion-notification queue pairs (§IV-D2).
+//!
+//! "It is possible to program the backside controller and create a
+//! notification mechanism using queue pairs that can notify the core
+//! upon page arrivals from flash, similar to modern storage response
+//! arrivals. The scheduler can then read the queue pairs and schedule
+//! the corresponding thread."
+//!
+//! The BC is the producer (one entry per completed page), the per-core
+//! scheduler the consumer (drained at every scheduling decision). The
+//! ring is finite like a real submission/completion queue; on overflow
+//! the notification is dropped and the scheduler's aging guard
+//! (§IV-D2's starvation backstop) eventually recovers the thread.
+
+use std::collections::VecDeque;
+
+/// One completion notification: the waiting thread and its page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Thread whose page arrived.
+    pub thread: u32,
+    /// The page that arrived (diagnostic).
+    pub page: u64,
+}
+
+/// A bounded single-producer/single-consumer completion ring.
+///
+/// # Example
+///
+/// ```
+/// use astriflash_uthread::queue_pair::{Completion, NotificationQueue};
+/// let mut q = NotificationQueue::new(4);
+/// q.push(Completion { thread: 1, page: 42 });
+/// assert_eq!(q.drain().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct NotificationQueue {
+    ring: VecDeque<Completion>,
+    capacity: usize,
+    produced: u64,
+    dropped: u64,
+}
+
+impl NotificationQueue {
+    /// Creates a ring of `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue pair needs capacity");
+        NotificationQueue {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            produced: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Produces a completion; returns `false` (and counts a drop) when
+    /// the ring is full — the hardware cannot block on software.
+    pub fn push(&mut self, c: Completion) -> bool {
+        if self.ring.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.ring.push_back(c);
+        self.produced += 1;
+        true
+    }
+
+    /// Consumes every pending completion (the scheduler's read at a
+    /// decision point).
+    pub fn drain(&mut self) -> Vec<Completion> {
+        self.ring.drain(..).collect()
+    }
+
+    /// Entries currently pending.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no notifications are pending.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Completions successfully produced.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Completions dropped on overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produce_and_drain_in_order() {
+        let mut q = NotificationQueue::new(8);
+        for i in 0..5 {
+            assert!(q.push(Completion {
+                thread: i,
+                page: i as u64 * 10
+            }));
+        }
+        assert_eq!(q.len(), 5);
+        let drained = q.drain();
+        assert_eq!(drained.len(), 5);
+        assert_eq!(drained[0].thread, 0);
+        assert_eq!(drained[4].page, 40);
+        assert!(q.is_empty());
+        assert_eq!(q.produced(), 5);
+    }
+
+    #[test]
+    fn overflow_drops_not_blocks() {
+        let mut q = NotificationQueue::new(2);
+        assert!(q.push(Completion { thread: 0, page: 0 }));
+        assert!(q.push(Completion { thread: 1, page: 1 }));
+        assert!(!q.push(Completion { thread: 2, page: 2 }));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.drain().len(), 2);
+        // Space frees after the drain.
+        assert!(q.push(Completion { thread: 3, page: 3 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        NotificationQueue::new(0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests of the user-level scheduler: threads are conserved —
+//! every parked thread is returned exactly once, under both policies and
+//! arbitrary interleavings of parks, arrivals, and picks.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use astriflash_sim::SimTime;
+use astriflash_uthread::{MissPark, Pick, Policy, Scheduler};
+
+/// A random scheduler interaction script.
+#[derive(Debug, Clone)]
+enum Op {
+    Park(u32),
+    Arrive(u32),
+    Pick { new_available: bool, after_miss: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..64).prop_map(Op::Park),
+        (0u32..64).prop_map(Op::Arrive),
+        (any::<bool>(), any::<bool>()).prop_map(|(n, m)| Op::Pick {
+            new_available: n,
+            after_miss: m
+        }),
+    ]
+}
+
+fn run_script(policy: Policy, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut s = Scheduler::new(policy, 16);
+    let mut parked: HashSet<u32> = HashSet::new();
+    let mut t = 0u64;
+    for op in ops {
+        t += 1_000; // 1 µs per step
+        let now = SimTime::from_ns(t);
+        match op {
+            Op::Park(thread) => {
+                if parked.contains(thread) {
+                    continue; // a thread cannot park twice
+                }
+                match s.park_on_miss(now, *thread) {
+                    MissPark::Parked => {
+                        prop_assert!(parked.insert(*thread));
+                    }
+                    MissPark::QueueFullWaitFor(oldest) => {
+                        prop_assert!(
+                            parked.contains(&oldest),
+                            "queue-full must name a parked thread"
+                        );
+                        prop_assert_eq!(parked.len(), 16, "full means at capacity");
+                    }
+                }
+            }
+            Op::Arrive(thread) => {
+                // Arrivals for unknown threads must be harmless no-ops.
+                s.page_arrived(now, *thread);
+                if parked.contains(thread) {
+                    prop_assert!(s.is_ready(*thread));
+                }
+            }
+            Op::Pick {
+                new_available,
+                after_miss,
+            } => match s.pick(now, *new_available, *after_miss) {
+                Pick::Pending { thread, .. } => {
+                    prop_assert!(
+                        parked.remove(&thread),
+                        "scheduler returned a thread that was not parked"
+                    );
+                }
+                Pick::NewJob => {
+                    prop_assert!(*new_available, "NewJob without new work");
+                }
+                Pick::Idle => {
+                    prop_assert!(!*new_available, "idle despite new work");
+                }
+            },
+        }
+        prop_assert_eq!(s.pending_len(), parked.len());
+    }
+    // Drain: everything parked must come back exactly once.
+    let mut drained = HashSet::new();
+    for i in 0..1_000 {
+        let now = SimTime::from_ns(t + 1_000 * (i + 1));
+        match s.pick(now, false, false) {
+            Pick::Pending { thread, .. } => {
+                prop_assert!(drained.insert(thread), "thread {thread} returned twice");
+            }
+            Pick::Idle => break,
+            Pick::NewJob => prop_assert!(false, "NewJob while draining"),
+        }
+    }
+    prop_assert_eq!(drained, parked);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn priority_scheduler_conserves_threads(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        run_script(Policy::PriorityAging, &ops)?;
+    }
+
+    #[test]
+    fn fifo_scheduler_conserves_threads(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        run_script(Policy::Fifo, &ops)?;
+    }
+}

@@ -1,0 +1,145 @@
+//! Job and operation model shared by all workload engines.
+//!
+//! A *job* is one client request (one TATP transaction, one hash lookup,
+//! …). It decomposes into [`Operation`]s, each contributing compute time
+//! and a handful of block-granular memory accesses. The core model
+//! executes operations in order; the memory hierarchy decides which
+//! accesses stall the core or trigger thread switches.
+
+use astriflash_sim::SimRng;
+
+/// One block-granular memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryAccess {
+    /// Simulated byte address.
+    pub addr: u64,
+    /// Whether the reference is a store.
+    pub is_write: bool,
+}
+
+impl MemoryAccess {
+    /// A read of `addr`.
+    pub fn read(addr: u64) -> Self {
+        MemoryAccess {
+            addr,
+            is_write: false,
+        }
+    }
+
+    /// A write of `addr`.
+    pub fn write(addr: u64) -> Self {
+        MemoryAccess {
+            addr,
+            is_write: true,
+        }
+    }
+}
+
+/// A unit of work: compute time followed by memory references.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Operation {
+    /// Pure compute preceding the accesses, in nanoseconds. Includes the
+    /// cost of core-private cache hits not modeled individually.
+    pub compute_ns: u64,
+    /// Memory references issued by this operation, in program order.
+    pub accesses: Vec<MemoryAccess>,
+}
+
+impl Operation {
+    /// An operation with compute time only.
+    pub fn compute(ns: u64) -> Self {
+        Operation {
+            compute_ns: ns,
+            accesses: Vec::new(),
+        }
+    }
+
+    /// An operation with compute time and accesses.
+    pub fn new(compute_ns: u64, accesses: Vec<MemoryAccess>) -> Self {
+        Operation {
+            compute_ns,
+            accesses,
+        }
+    }
+}
+
+/// A complete job: an ordered list of operations.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobSpec {
+    /// Operations in program order.
+    pub ops: Vec<Operation>,
+}
+
+impl JobSpec {
+    /// Creates a job from operations.
+    pub fn new(ops: Vec<Operation>) -> Self {
+        JobSpec { ops }
+    }
+
+    /// Total compute time across operations.
+    pub fn total_compute_ns(&self) -> u64 {
+        self.ops.iter().map(|o| o.compute_ns).sum()
+    }
+
+    /// Total number of memory accesses.
+    pub fn total_accesses(&self) -> usize {
+        self.ops.iter().map(|o| o.accesses.len()).sum()
+    }
+
+    /// Number of write accesses.
+    pub fn total_writes(&self) -> usize {
+        self.ops
+            .iter()
+            .flat_map(|o| &o.accesses)
+            .filter(|a| a.is_write)
+            .count()
+    }
+
+    /// Iterates all accesses in program order.
+    pub fn accesses(&self) -> impl Iterator<Item = &MemoryAccess> {
+        self.ops.iter().flat_map(|o| o.accesses.iter())
+    }
+}
+
+/// A source of jobs: one per workload.
+///
+/// Engines are deterministic given the construction seed and the `SimRng`
+/// passed to [`WorkloadEngine::next_job`].
+pub trait WorkloadEngine: Send {
+    /// Generates the next job.
+    fn next_job(&mut self, rng: &mut SimRng) -> JobSpec;
+
+    /// Short workload name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Suggested user-level threads per core for this workload
+    /// (the paper spawns 32–64 depending on the workload, §V-A).
+    fn threads_per_core_hint(&self) -> usize {
+        48
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_aggregates() {
+        let job = JobSpec::new(vec![
+            Operation::new(100, vec![MemoryAccess::read(0), MemoryAccess::write(64)]),
+            Operation::compute(50),
+            Operation::new(25, vec![MemoryAccess::write(128)]),
+        ]);
+        assert_eq!(job.total_compute_ns(), 175);
+        assert_eq!(job.total_accesses(), 3);
+        assert_eq!(job.total_writes(), 2);
+        let addrs: Vec<u64> = job.accesses().map(|a| a.addr).collect();
+        assert_eq!(addrs, vec![0, 64, 128]);
+    }
+
+    #[test]
+    fn access_constructors() {
+        assert!(!MemoryAccess::read(5).is_write);
+        assert!(MemoryAccess::write(5).is_write);
+    }
+}

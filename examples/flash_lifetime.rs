@@ -1,0 +1,82 @@
+//! Flash endurance check: the paper claims its limited write traffic
+//! yields "practical endurance/lifetime for flash" (§V-A). This example
+//! replays an AstriFlash-like writeback stream against the device model
+//! and projects device lifetime across NAND generations.
+//!
+//! ```text
+//! cargo run --release --example flash_lifetime
+//! ```
+
+use astriflash::flash::{estimate_lifetime, FlashConfig, FlashDevice, NandEndurance};
+use astriflash::sim::{SimDuration, SimRng, SimTime};
+use astriflash::stats::TextTable;
+
+fn main() {
+    // Writeback stream of a 16-core AstriFlash system running TPC-C —
+    // the most write-heavy workload: ~0.16 M dirty-page writebacks/s
+    // (measured in the fig9 runs; read-dominated workloads like TATP
+    // produce none). A 256 MiB device keeps the example fast while the
+    // stream cycles the flash several times so GC and wear engage.
+    let cfg = FlashConfig {
+        capacity_bytes: 256 << 20,
+        ..FlashConfig::default()
+    };
+    let mut dev = FlashDevice::new(cfg, 42);
+    let pages = dev.config().num_logical_pages();
+    let mut rng = SimRng::new(7);
+
+    let mut now = SimTime::ZERO;
+    let interval = SimDuration::from_ns(6_300); // ~0.16 M writes/s
+    for _ in 0..pages * 3 {
+        now += interval;
+        dev.write(now, rng.gen_range(pages));
+    }
+    let elapsed = now.as_secs_f64();
+
+    println!(
+        "observed: {:.2} M writebacks/s, write amplification {:.2}, {} GC erases over {:.2} s\n",
+        dev.stats().writes as f64 / elapsed / 1e6,
+        estimate_lifetime(&dev, elapsed, NandEndurance::Tlc).write_amplification,
+        dev.stats().gc_erases,
+        elapsed
+    );
+
+    // Per-block wear rate is what matters: the paper's 1 TB device has
+    // 4096x this example's blocks absorbing the same write stream.
+    let paper_scale = (1u64 << 40) / (256 << 20);
+    let mut t = TextTable::new(&[
+        "NAND",
+        "rated P/E",
+        "256 MiB device",
+        "1 TB device (paper)",
+    ]);
+    for nand in [
+        NandEndurance::Slc,
+        NandEndurance::Mlc,
+        NandEndurance::Tlc,
+        NandEndurance::Qlc,
+    ] {
+        let est = estimate_lifetime(&dev, elapsed, nand);
+        let fmt_years = |y: f64| {
+            if !y.is_finite() {
+                "no wear observed".to_string()
+            } else if y >= 1.0 {
+                format!("{y:.1} years")
+            } else {
+                format!("{:.1} days", y * 365.25)
+            }
+        };
+        t.row_owned(vec![
+            format!("{nand:?}"),
+            nand.pe_cycles().to_string(),
+            fmt_years(est.years_to_wearout),
+            fmt_years(est.years_to_wearout * paper_scale as f64),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nThe DRAM cache absorbs writes and only dirty evictions reach flash\n\
+         (SecIV-B2); at the paper's 1 TB capacity even the most write-heavy\n\
+         workload leaves years of TLC lifetime."
+    );
+}

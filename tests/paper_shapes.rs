@@ -1,0 +1,149 @@
+//! Integration tests asserting the qualitative shape of every paper
+//! artifact at reduced scale (the full-scale numbers live in
+//! EXPERIMENTS.md and the bench binaries).
+
+use astriflash::core::config::{Configuration, SystemConfig};
+use astriflash::core::experiments::{fig1, fig2, fig3, fig9, gc, table2};
+use astriflash::workloads::{WorkloadKind, WorkloadParams};
+
+fn quick() -> SystemConfig {
+    SystemConfig::default()
+        .with_cores(2)
+        .scaled_for_tests()
+        .with_threads_per_core(32)
+}
+
+#[test]
+fn fig1_shape_miss_curve_flattens_and_eq1_holds() {
+    let params = WorkloadParams::tiny_for_tests();
+    let pts = fig1::sweep(
+        &params,
+        &[WorkloadKind::HashTable, WorkloadKind::Tatp],
+        &[0.01, 0.03, 0.08, 0.16],
+        80_000,
+        7,
+    );
+    assert!(pts.windows(2).all(|w| w[1].miss_ratio <= w[0].miss_ratio + 1e-9));
+    let early_drop = pts[0].miss_ratio - pts[1].miss_ratio;
+    let late_drop = pts[2].miss_ratio - pts[3].miss_ratio;
+    assert!(late_drop < early_drop, "curve must flatten");
+    for p in &pts {
+        let eq1 = 0.5 / 64.0 * p.miss_ratio * 4096.0;
+        assert!((p.flash_bw_per_core_gbps - eq1).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn fig2_shape_paging_efficiency_collapses() {
+    let pts = fig2::sweep(10.0, &[1, 8, 64], &fig2::traditional_costs());
+    let eff: Vec<f64> = pts.iter().map(|p| p.paging / p.ideal).collect();
+    assert!(eff[2] < eff[0] * 0.7);
+    assert!(pts.iter().all(|p| p.astriflash / p.ideal > 0.95));
+}
+
+#[test]
+fn fig3_shape_four_curves() {
+    let systems = fig3::Fig3Systems::paper_defaults();
+    let dram = systems.dram_only.saturation_throughput();
+    assert!(systems.flash_sync.saturation_throughput() / dram < 0.2);
+    let os = systems.os_swap.saturation_throughput() / dram;
+    assert!((0.4..0.6).contains(&os));
+    assert!(systems.astriflash.saturation_throughput() / dram > 0.9);
+
+    let pts = fig3::sweep(&systems, &[0.1, 0.8]);
+    // Low load: AstriFlash pays the flash latency relative to DRAM-only.
+    let low = &pts[0];
+    assert!(low.astriflash.unwrap() > 3.0 * low.dram_only.unwrap());
+    // High load: the relative gap shrinks (queueing dominates).
+    let high = &pts[1];
+    let ratio_low = low.astriflash.unwrap() / low.dram_only.unwrap();
+    let ratio_high = high.astriflash.unwrap() / high.dram_only.unwrap();
+    assert!(ratio_high < ratio_low);
+}
+
+#[test]
+fn fig9_shape_astriflash_dominates_baselines() {
+    let cells = fig9::run_matrix(
+        &quick(),
+        &[WorkloadKind::Tatp, WorkloadKind::Silo],
+        &[
+            Configuration::DramOnly,
+            Configuration::AstriFlash,
+            Configuration::OsSwap,
+            Configuration::FlashSync,
+        ],
+        80,
+        3,
+    );
+    let g = |c| fig9::geomean_normalized(&cells, c);
+    assert!((g(Configuration::DramOnly) - 1.0).abs() < 1e-9);
+    assert!(g(Configuration::AstriFlash) > g(Configuration::OsSwap));
+    assert!(g(Configuration::OsSwap) > g(Configuration::FlashSync));
+    assert!(
+        g(Configuration::AstriFlash) > 0.5,
+        "AstriFlash should be DRAM-class, got {}",
+        g(Configuration::AstriFlash)
+    );
+}
+
+#[test]
+fn table2_shape_scheduler_and_partitioning_ablations() {
+    let rows = table2::run(&quick(), 150, 5);
+    let get = |c: Configuration| {
+        rows.iter()
+            .find(|r| r.configuration == c)
+            .unwrap()
+            .normalized
+    };
+    assert!((get(Configuration::FlashSync) - 1.0).abs() < 1e-9);
+    let astri = get(Configuration::AstriFlash);
+    let nops = get(Configuration::AstriFlashNoPS);
+    assert!(
+        astri < 2.0,
+        "AstriFlash p99 service must stay Flash-Sync-class: {astri}"
+    );
+    assert!(
+        nops > astri * 1.5,
+        "noPS must degrade the service tail: {nops} vs {astri}"
+    );
+}
+
+#[test]
+fn gc_shape_capacity_reduces_blocking() {
+    let pts = gc::sweep(&[1, 4], 60_000, 0.5, 9);
+    assert!(pts[0].gc_erases > 0);
+    assert!(pts[1].blocked_fraction <= pts[0].blocked_fraction);
+}
+
+/// Full-scale regression pin: the headline Fig. 9 geomean at 16 cores.
+/// Run with `cargo test --workspace -- --ignored` (takes ~a minute).
+#[test]
+#[ignore = "full-scale run; see EXPERIMENTS.md for the recorded numbers"]
+fn full_scale_fig9_geomean_regression() {
+    let base = SystemConfig::default();
+    let cells = fig9::run_matrix(
+        &base,
+        &WorkloadKind::all(),
+        &[
+            Configuration::DramOnly,
+            Configuration::AstriFlash,
+            Configuration::OsSwap,
+            Configuration::FlashSync,
+        ],
+        400,
+        1,
+    );
+    let g = |c| fig9::geomean_normalized(&cells, c);
+    let astri = g(Configuration::AstriFlash);
+    let os = g(Configuration::OsSwap);
+    let sync = g(Configuration::FlashSync);
+    assert!(
+        (0.85..1.0).contains(&astri),
+        "AstriFlash geomean drifted: {astri}"
+    );
+    assert!((0.30..0.60).contains(&os), "OS-Swap geomean drifted: {os}");
+    assert!(
+        (0.12..0.35).contains(&sync),
+        "Flash-Sync geomean drifted: {sync}"
+    );
+}
