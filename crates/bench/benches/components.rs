@@ -1,8 +1,11 @@
-//! Criterion microbenchmarks of the substrate components on the
-//! DRAM-cache miss-handling critical path.
+//! Microbenchmarks of the substrate components on the DRAM-cache
+//! miss-handling critical path (criterion-free; see `timing.rs`).
+//!
+//! ```text
+//! cargo bench -p astriflash-bench --bench components [-- --quick]
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use astriflash_bench::timing::Bench;
 use astriflash_flash::{FlashConfig, FlashDevice};
 use astriflash_mem::{DramCache, DramCacheConfig, PageLru, SramCache};
 use astriflash_sim::{SimRng, SimTime};
@@ -11,126 +14,83 @@ use astriflash_uthread::{Policy, Scheduler};
 use astriflash_workloads::engines::rb_tree::RbArena;
 use astriflash_workloads::{WorkloadKind, WorkloadParams, ZipfGenerator};
 
-fn bench_zipf(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args();
+
     let zipf = ZipfGenerator::new(1 << 21, 0.99);
     let mut rng = SimRng::new(1);
-    c.bench_function("zipf_sample_clustered", |b| {
-        b.iter(|| zipf.sample_clustered(&mut rng, 4))
-    });
-}
+    bench.bench("zipf_sample_clustered", || zipf.sample_clustered(&mut rng, 4));
 
-fn bench_histogram(c: &mut Criterion) {
     let mut h = Histogram::new();
     let mut x = 1u64;
-    c.bench_function("histogram_record", |b| {
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record(x >> 40);
-        })
+    bench.bench("histogram_record", || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record(x >> 40);
     });
     for v in 0..100_000u64 {
         h.record(v);
     }
-    c.bench_function("histogram_p99_query", |b| b.iter(|| h.value_at_quantile(0.99)));
-}
+    bench.bench("histogram_p99_query", || h.value_at_quantile(0.99));
 
-fn bench_page_lru(c: &mut Criterion) {
     let mut lru = PageLru::new(1 << 15);
-    let zipf = ZipfGenerator::new(1 << 20, 0.99);
-    let mut rng = SimRng::new(2);
-    c.bench_function("page_lru_access", |b| {
-        b.iter(|| lru.access(zipf.sample_clustered(&mut rng, 4)))
+    let zipf_lru = ZipfGenerator::new(1 << 20, 0.99);
+    let mut rng_lru = SimRng::new(2);
+    bench.bench("page_lru_access", || {
+        lru.access(zipf_lru.sample_clustered(&mut rng_lru, 4))
     });
-}
 
-fn bench_sram_cache(c: &mut Criterion) {
     let mut cache = SramCache::new(1 << 20, 16);
-    let mut rng = SimRng::new(3);
-    c.bench_function("sram_cache_access", |b| {
-        b.iter(|| cache.access(rng.gen_range(1 << 26) * 64, false))
+    let mut rng_sram = SimRng::new(3);
+    bench.bench("sram_cache_access", || {
+        cache.access(rng_sram.gen_range(1 << 26) * 64, false)
     });
-}
 
-fn bench_dram_cache_probe(c: &mut Criterion) {
-    let mut cache = DramCache::new(DramCacheConfig {
+    let mut dram = DramCache::new(DramCacheConfig {
         capacity_bytes: 64 << 20,
         ..DramCacheConfig::default()
     });
-    let mut rng = SimRng::new(4);
+    let mut rng_dram = SimRng::new(4);
     let mut t = SimTime::ZERO;
-    c.bench_function("dram_cache_probe", |b| {
-        b.iter(|| {
-            t += astriflash_sim::SimDuration::from_ns(100);
-            cache.probe(t, rng.gen_range(1 << 18), 0, false)
-        })
+    bench.bench("dram_cache_probe", || {
+        t += astriflash_sim::SimDuration::from_ns(100);
+        dram.probe(t, rng_dram.gen_range(1 << 18), 0, false)
     });
-}
 
-fn bench_flash_read(c: &mut Criterion) {
     let mut dev = FlashDevice::new(FlashConfig::default(), 5);
-    let mut rng = SimRng::new(5);
+    let mut rng_flash = SimRng::new(5);
     let pages = dev.config().num_logical_pages();
-    let mut t = SimTime::ZERO;
-    c.bench_function("flash_read", |b| {
-        b.iter(|| {
-            t += astriflash_sim::SimDuration::from_ns(500);
-            dev.read(t, rng.gen_range(pages))
-        })
+    let mut tf = SimTime::ZERO;
+    bench.bench("flash_read", || {
+        tf += astriflash_sim::SimDuration::from_ns(500);
+        dev.read(tf, rng_flash.gen_range(pages))
     });
-}
 
-fn bench_scheduler(c: &mut Criterion) {
-    c.bench_function("scheduler_park_pick", |b| {
-        b.iter_batched(
-            || Scheduler::new(Policy::PriorityAging, 64),
-            |mut s| {
-                for i in 0..32 {
-                    s.park_on_miss(SimTime::from_us(i as u64), i);
-                }
-                for i in 0..16 {
-                    s.page_arrived(SimTime::from_us(60 + i as u64), i);
-                }
-                for _ in 0..32 {
-                    s.pick(SimTime::from_us(100), true, false);
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    bench.bench("scheduler_park_pick", || {
+        let mut s = Scheduler::new(Policy::PriorityAging, 64);
+        for i in 0..32 {
+            s.park_on_miss(SimTime::from_us(i as u64), i);
+        }
+        for i in 0..16 {
+            s.page_arrived(SimTime::from_us(60 + i as u64), i);
+        }
+        for _ in 0..32 {
+            s.pick(SimTime::from_us(100), true, false);
+        }
     });
-}
 
-fn bench_rb_lookup(c: &mut Criterion) {
     let mut arena = RbArena::new();
     for k in 0..100_000u64 {
         arena.insert(k, k * 64, k * 1024);
     }
-    let mut rng = SimRng::new(6);
+    let mut rng_rb = SimRng::new(6);
     let mut trace = Vec::with_capacity(64);
-    c.bench_function("rb_tree_lookup_trace", |b| {
-        b.iter(|| {
-            trace.clear();
-            arena.lookup_trace(rng.gen_range(100_000), &mut trace)
-        })
+    bench.bench("rb_tree_lookup_trace", || {
+        trace.clear();
+        arena.lookup_trace(rng_rb.gen_range(100_000), &mut trace)
     });
-}
 
-fn bench_workload_jobgen(c: &mut Criterion) {
     let params = WorkloadParams::tiny_for_tests();
     let mut engine = WorkloadKind::Tatp.build(&params, 7);
-    let mut rng = SimRng::new(7);
-    c.bench_function("tatp_job_generation", |b| b.iter(|| engine.next_job(&mut rng)));
+    let mut rng_wl = SimRng::new(7);
+    bench.bench("tatp_job_generation", || engine.next_job(&mut rng_wl));
 }
-
-criterion_group!(
-    components,
-    bench_zipf,
-    bench_histogram,
-    bench_page_lru,
-    bench_sram_cache,
-    bench_dram_cache_probe,
-    bench_flash_read,
-    bench_scheduler,
-    bench_rb_lookup,
-    bench_workload_jobgen,
-);
-criterion_main!(components);

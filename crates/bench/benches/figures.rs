@@ -1,93 +1,56 @@
-//! Criterion benches that regenerate each paper artifact at reduced
-//! scale — one benchmark per table/figure, so `cargo bench` exercises
-//! every experiment pipeline end to end.
+//! End-to-end timing of each paper-artifact pipeline at reduced scale —
+//! one benchmark per table/figure, so `cargo bench` exercises every
+//! experiment path (criterion-free; see `timing.rs`).
+//!
+//! ```text
+//! cargo bench -p astriflash-bench --bench figures [-- --quick]
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use astriflash_bench::timing::Bench;
 use astriflash_core::config::{Configuration, SystemConfig};
 use astriflash_core::experiment::Experiment;
-use astriflash_core::experiments::{fig1, fig2, fig3, fig10, gc, table2};
+use astriflash_core::experiments::{fig1, fig10, fig2, fig3, gc, table2};
 use astriflash_workloads::{WorkloadKind, WorkloadParams};
 
 fn quick_config() -> SystemConfig {
     SystemConfig::default().with_cores(2).scaled_for_tests()
 }
 
-fn fig1_miss_ratio(c: &mut Criterion) {
+fn main() {
+    let mut bench = Bench::from_args();
+
     let params = WorkloadParams::tiny_for_tests();
-    c.bench_function("fig1_miss_ratio", |b| {
-        b.iter(|| {
-            fig1::sweep(
-                &params,
-                &[WorkloadKind::HashTable],
-                &[0.01, 0.03, 0.08],
-                20_000,
-                1,
-            )
-        })
+    bench.bench("fig1_miss_ratio", || {
+        fig1::sweep(
+            &params,
+            &[WorkloadKind::HashTable],
+            &[0.01, 0.03, 0.08],
+            20_000,
+            1,
+        )
     });
-}
 
-fn fig2_scaling(c: &mut Criterion) {
     let costs = fig2::traditional_costs();
-    c.bench_function("fig2_scaling", |b| {
-        b.iter(|| fig2::sweep(10.0, &fig2::default_core_counts(), &costs))
+    bench.bench("fig2_scaling", || {
+        fig2::sweep(10.0, &fig2::default_core_counts(), &costs)
     });
-}
 
-fn fig3_analytic(c: &mut Criterion) {
     let systems = fig3::Fig3Systems::paper_defaults();
     let loads = fig3::default_loads();
-    c.bench_function("fig3_analytic", |b| b.iter(|| fig3::sweep(&systems, &loads)));
-}
+    bench.bench("fig3_analytic", || fig3::sweep(&systems, &loads));
 
-fn fig9_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_throughput");
-    g.sample_size(10);
     for conf in [Configuration::DramOnly, Configuration::AstriFlash] {
-        g.bench_function(conf.name(), |b| {
-            b.iter(|| {
-                Experiment::new(quick_config(), conf)
-                    .seed(1)
-                    .jobs_per_core(30)
-                    .run()
-            })
+        bench.bench(&format!("fig9_throughput/{}", conf.name()), || {
+            Experiment::new(quick_config(), conf)
+                .seed(1)
+                .jobs_per_core(30)
+                .run()
         });
     }
-    g.finish();
-}
 
-fn fig10_tail(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_tail");
-    g.sample_size(10);
-    g.bench_function("sweep", |b| {
-        b.iter(|| fig10::sweep(&quick_config(), &[0.5], 80, 1))
-    });
-    g.finish();
-}
+    bench.bench("fig10_tail", || fig10::sweep(&quick_config(), &[0.5], 80, 1));
 
-fn table2_service_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_service_latency");
-    g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| table2::run(&quick_config(), 30, 1)));
-    g.finish();
-}
+    bench.bench("table2_service_latency", || table2::run(&quick_config(), 30, 1));
 
-fn gc_overheads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gc_overheads");
-    g.sample_size(10);
-    g.bench_function("sweep", |b| b.iter(|| gc::sweep(&[1, 2], 20_000, 0.5, 1)));
-    g.finish();
+    bench.bench("gc_overheads", || gc::sweep(&[1, 2], 20_000, 0.5, 1));
 }
-
-criterion_group!(
-    figures,
-    fig1_miss_ratio,
-    fig2_scaling,
-    fig3_analytic,
-    fig9_throughput,
-    fig10_tail,
-    table2_service_latency,
-    gc_overheads,
-);
-criterion_main!(figures);

@@ -7,7 +7,7 @@
 
 use astriflash_bench::{us1, HarnessOpts};
 use astriflash_core::config::Configuration;
-use astriflash_core::experiment::Experiment;
+use astriflash_core::sweep::{Cell, Sweep};
 use astriflash_stats::{Percentile, TextTable};
 use astriflash_workloads::WorkloadKind;
 
@@ -26,11 +26,12 @@ fn main() {
         Percentile::P9999 => "p99.99",
     }));
     let mut t = TextTable::new(&headers);
-    for conf in Configuration::all() {
-        let r = Experiment::new(base.clone(), conf)
-            .seed(opts.seed)
-            .jobs_per_core(opts.jobs_per_core())
-            .run();
+    let configs = Configuration::all();
+    let cells: Vec<Cell> = configs
+        .iter()
+        .map(|&conf| Cell::closed(base.clone(), conf, opts.seed, opts.jobs_per_core()))
+        .collect();
+    for (conf, r) in configs.iter().zip(Sweep::from_env().run(&cells)) {
         let mut row = vec![
             conf.name().to_string(),
             format!("{:.1}", r.mean_service_ns / 1000.0),

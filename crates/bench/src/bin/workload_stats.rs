@@ -8,6 +8,7 @@
 use std::collections::HashSet;
 
 use astriflash_bench::HarnessOpts;
+use astriflash_core::sweep::Sweep;
 use astriflash_sim::SimRng;
 use astriflash_stats::{OnlineStats, TextTable};
 use astriflash_workloads::{WorkloadKind, WorkloadParams, PAGE_SIZE};
@@ -66,8 +67,11 @@ fn main() {
         "write_frac",
         "uniq_pages_per_1k_jobs",
     ]);
-    for kind in WorkloadKind::all() {
-        let c = characterize(kind, &params, jobs, opts.seed);
+    let kinds = WorkloadKind::all();
+    let characterizations = Sweep::from_env().map(&kinds, |_, &kind| {
+        characterize(kind, &params, jobs, opts.seed)
+    });
+    for (kind, c) in kinds.iter().zip(characterizations) {
         t.row_owned(vec![
             kind.name().to_string(),
             format!("{:.1}", c.compute_us.mean()),

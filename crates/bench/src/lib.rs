@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use astriflash_core::config::SystemConfig;
 
 /// Parsed command-line options common to all harness binaries.

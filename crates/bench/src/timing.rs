@@ -1,0 +1,160 @@
+//! A small criterion-free timing harness so `cargo bench` works with
+//! zero registry dependencies.
+//!
+//! Each benchmark runs a closure in timed batches: after a warmup the
+//! batch size is calibrated so one batch takes roughly
+//! [`Bench::TARGET_BATCH`], then the median per-iteration time over
+//! [`Bench::BATCHES`] batches is reported. Medians make the report
+//! robust to scheduler noise without interval statistics.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest batch, ns/iter.
+    pub min_ns: f64,
+    /// Slowest batch, ns/iter.
+    pub max_ns: f64,
+    /// Iterations per batch used for measurement.
+    pub batch_iters: u64,
+}
+
+impl Measurement {
+    fn render(&self) -> String {
+        format!(
+            "{:<32} {:>12}/iter   (min {}, max {}, {} iters/batch)",
+            self.name,
+            fmt_ns(self.median_ns),
+            fmt_ns(self.min_ns),
+            fmt_ns(self.max_ns),
+            self.batch_iters
+        )
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark runner: collects measurements and prints them.
+#[derive(Debug, Default)]
+pub struct Bench {
+    results: Vec<Measurement>,
+    /// `--quick` halves the batch target and batch count.
+    quick: bool,
+}
+
+impl Bench {
+    /// Measured batches per benchmark.
+    pub const BATCHES: usize = 15;
+    /// Calibration target for one batch.
+    pub const TARGET_BATCH: Duration = Duration::from_millis(20);
+
+    /// Creates a runner; reads `--quick` from the process arguments.
+    pub fn from_args() -> Self {
+        Bench {
+            results: Vec::new(),
+            quick: std::env::args().any(|a| a == "--quick"),
+        }
+    }
+
+    /// Times `f`, which returns a value that is `black_box`ed so the
+    /// optimizer cannot delete the work.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        let (batches, target) = if self.quick {
+            (7, Self::TARGET_BATCH / 4)
+        } else {
+            (Self::BATCHES, Self::TARGET_BATCH)
+        };
+
+        // Warmup + calibration: grow the batch until it crosses the
+        // target duration.
+        let mut batch_iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= target || batch_iters >= 1 << 30 {
+                if took < target && batch_iters < 1 << 30 {
+                    continue;
+                }
+                break;
+            }
+            let scale = target.as_secs_f64() / took.as_secs_f64().max(1e-9);
+            batch_iters = (batch_iters as f64 * scale.clamp(1.5, 100.0)) as u64;
+        }
+
+        let mut per_iter: Vec<f64> = (0..batches)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch_iters {
+                    black_box(f());
+                }
+                start.elapsed().as_secs_f64() * 1e9 / batch_iters as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+
+        let m = Measurement {
+            name: name.to_string(),
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: *per_iter.last().unwrap(),
+            batch_iters,
+        };
+        println!("{}", m.render());
+        self.results.push(m);
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut b = Bench {
+            results: Vec::new(),
+            quick: true,
+        };
+        let mut x = 0u64;
+        b.bench("spin", || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert_eq!(b.results().len(), 1);
+        let m = &b.results()[0];
+        assert!(m.median_ns > 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        assert!(m.batch_iters >= 1);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.340 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.340 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

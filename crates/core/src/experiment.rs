@@ -6,14 +6,20 @@ use astriflash_stats::{Histogram, MetricSet, Percentile};
 use crate::config::{Configuration, SystemConfig};
 use crate::system::{SystemSim, SystemStats};
 
-/// How the system is loaded.
+/// How the system is loaded. Public so sweep cells ([`crate::sweep`])
+/// can carry a load point as plain data.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum LoadMode {
+pub enum Load {
     /// Closed loop at saturation, measuring `jobs_per_core` jobs/core.
-    Closed { jobs_per_core: u64 },
+    Closed {
+        /// Jobs measured per core.
+        jobs_per_core: u64,
+    },
     /// Open loop with Poisson arrivals.
     Open {
+        /// System-wide mean inter-arrival time (ns).
         mean_interarrival_ns: f64,
+        /// Total measured jobs.
         total_jobs: u64,
     },
 }
@@ -38,7 +44,7 @@ pub struct Experiment {
     cfg: SystemConfig,
     configuration: Configuration,
     seed: u64,
-    mode: LoadMode,
+    mode: Load,
 }
 
 impl Experiment {
@@ -49,7 +55,7 @@ impl Experiment {
             cfg,
             configuration,
             seed: 1,
-            mode: LoadMode::Closed { jobs_per_core: 200 },
+            mode: Load::Closed { jobs_per_core: 200 },
         }
     }
 
@@ -61,7 +67,7 @@ impl Experiment {
 
     /// Closed-loop saturation run measuring this many jobs per core.
     pub fn jobs_per_core(mut self, jobs: u64) -> Self {
-        self.mode = LoadMode::Closed {
+        self.mode = Load::Closed {
             jobs_per_core: jobs,
         };
         self
@@ -70,10 +76,16 @@ impl Experiment {
     /// Open-loop Poisson run: system-wide mean inter-arrival (ns) and
     /// total measured jobs.
     pub fn open_loop(mut self, mean_interarrival_ns: f64, total_jobs: u64) -> Self {
-        self.mode = LoadMode::Open {
+        self.mode = Load::Open {
             mean_interarrival_ns,
             total_jobs,
         };
+        self
+    }
+
+    /// Sets the load point from plain data (sweep cells).
+    pub fn load(mut self, load: Load) -> Self {
+        self.mode = load;
         self
     }
 
@@ -83,8 +95,8 @@ impl Experiment {
         let workload = self.cfg.workload;
         let sim = SystemSim::new(self.cfg, self.configuration, self.seed);
         let stats = match self.mode {
-            LoadMode::Closed { jobs_per_core } => sim.run_closed_loop(jobs_per_core),
-            LoadMode::Open {
+            Load::Closed { jobs_per_core } => sim.run_closed_loop(jobs_per_core),
+            Load::Open {
                 mean_interarrival_ns,
                 total_jobs,
             } => sim.run_open_loop(mean_interarrival_ns, total_jobs),

@@ -4,7 +4,8 @@
 //! aging threshold, and DRAM-cache associativity.
 
 use crate::config::{Configuration, SystemConfig};
-use crate::experiment::{Experiment, RunReport};
+use crate::experiment::RunReport;
+use crate::sweep::{Cell, Sweep};
 
 /// One point of a single-knob ablation sweep.
 #[derive(Debug, Clone)]
@@ -28,6 +29,22 @@ fn point(value: f64, r: &RunReport) -> AblationPoint {
     }
 }
 
+/// Shared knob-sweep runner: every `(knob value, config)` pair becomes
+/// an AstriFlash cell on the environment-configured pool, and points
+/// come back in knob order.
+fn run_knob(knobs: Vec<(f64, SystemConfig)>, jobs: u64, seed: u64) -> Vec<AblationPoint> {
+    let cells: Vec<Cell> = knobs
+        .iter()
+        .map(|(_, cfg)| Cell::closed(cfg.clone(), Configuration::AstriFlash, seed, jobs))
+        .collect();
+    let reports = Sweep::from_env().run(&cells);
+    knobs
+        .iter()
+        .zip(&reports)
+        .map(|(&(value, _), r)| point(value, r))
+        .collect()
+}
+
 /// Sweeps the Miss Status Row capacity (`sets`×8 entries). The paper's
 /// point: SRAM-MSHR-sized tracking (tens of entries) cannot sustain the
 /// 100s of concurrent misses a µs-latency backing store creates
@@ -38,51 +55,47 @@ pub fn msr_capacity(
     jobs: u64,
     seed: u64,
 ) -> Vec<AblationPoint> {
-    geometries
-        .iter()
-        .map(|&(sets, ways)| {
-            let cfg = base.clone().with_msr_geometry(sets, ways);
-            let r = Experiment::new(cfg, Configuration::AstriFlash)
-                .seed(seed)
-                .jobs_per_core(jobs)
-                .run();
-            point((sets * ways) as f64, &r)
-        })
-        .collect()
+    run_knob(
+        geometries
+            .iter()
+            .map(|&(sets, ways)| {
+                (
+                    (sets * ways) as f64,
+                    base.clone().with_msr_geometry(sets, ways),
+                )
+            })
+            .collect(),
+        jobs,
+        seed,
+    )
 }
 
 /// Sweeps user-level threads per core. Too few threads cannot cover the
 /// flash window (the pending queue saturates); the paper uses 32–64
 /// (§V-A).
 pub fn thread_count(base: &SystemConfig, threads: &[usize], jobs: u64, seed: u64) -> Vec<AblationPoint> {
-    threads
-        .iter()
-        .map(|&t| {
-            let cfg = base.clone().with_threads_per_core(t);
-            let r = Experiment::new(cfg, Configuration::AstriFlash)
-                .seed(seed)
-                .jobs_per_core(jobs)
-                .run();
-            point(t as f64, &r)
-        })
-        .collect()
+    run_knob(
+        threads
+            .iter()
+            .map(|&t| (t as f64, base.clone().with_threads_per_core(t)))
+            .collect(),
+        jobs,
+        seed,
+    )
 }
 
 /// Sweeps the thread-switch cost from AstriFlash's 100 ns toward
 /// OS-context-switch territory (~5 µs, §II-C) — bridging Fig. 9's
 /// AstriFlash and OS-Swap bars.
 pub fn switch_cost(base: &SystemConfig, costs_ns: &[u64], jobs: u64, seed: u64) -> Vec<AblationPoint> {
-    costs_ns
-        .iter()
-        .map(|&c| {
-            let cfg = base.clone().with_switch_cost_ns(c);
-            let r = Experiment::new(cfg, Configuration::AstriFlash)
-                .seed(seed)
-                .jobs_per_core(jobs)
-                .run();
-            point(c as f64, &r)
-        })
-        .collect()
+    run_knob(
+        costs_ns
+            .iter()
+            .map(|&c| (c as f64, base.clone().with_switch_cost_ns(c)))
+            .collect(),
+        jobs,
+        seed,
+    )
 }
 
 /// Sweeps the aging-threshold multiplier. At 1× the guard fires on
@@ -90,35 +103,32 @@ pub fn switch_cost(base: &SystemConfig, costs_ns: &[u64], jobs: u64, seed: u64) 
 /// the cores; large values approach pure notification-driven
 /// scheduling (§IV-D2).
 pub fn aging_multiplier(base: &SystemConfig, multipliers: &[f64], jobs: u64, seed: u64) -> Vec<AblationPoint> {
-    multipliers
-        .iter()
-        .map(|&m| {
-            let cfg = base.clone().with_aging_multiplier(m);
-            let r = Experiment::new(cfg, Configuration::AstriFlash)
-                .seed(seed)
-                .jobs_per_core(jobs)
-                .run();
-            point(m, &r)
-        })
-        .collect()
+    run_knob(
+        multipliers
+            .iter()
+            .map(|&m| (m, base.clone().with_aging_multiplier(m)))
+            .collect(),
+        jobs,
+        seed,
+    )
 }
 
 /// Sweeps DRAM-cache associativity (the paper fixes 8 ways — one 64 B
 /// tag column, §IV-B1).
 pub fn dram_cache_ways(base: &SystemConfig, ways: &[usize], jobs: u64, seed: u64) -> Vec<AblationPoint> {
-    ways.iter()
-        .map(|&w| {
-            let mut cfg = base.clone();
-            // Associativity is set on the derived DramCacheConfig via a
-            // dedicated hook: stash it in the config.
-            cfg.dram_cache_ways = Some(w);
-            let r = Experiment::new(cfg, Configuration::AstriFlash)
-                .seed(seed)
-                .jobs_per_core(jobs)
-                .run();
-            point(w as f64, &r)
-        })
-        .collect()
+    run_knob(
+        ways.iter()
+            .map(|&w| {
+                let mut cfg = base.clone();
+                // Associativity is set on the derived DramCacheConfig via
+                // a dedicated hook: stash it in the config.
+                cfg.dram_cache_ways = Some(w);
+                (w as f64, cfg)
+            })
+            .collect(),
+        jobs,
+        seed,
+    )
 }
 
 /// Sweeps the second-level TLB reach. With a 2 GiB-scale dataset even
@@ -126,17 +136,14 @@ pub fn dram_cache_ways(base: &SystemConfig, ways: &[usize], jobs: u64, seed: u64
 /// a steady tax; the sweep quantifies how much translation reach buys
 /// (§IV-A's motivation for Midgard-class schemes).
 pub fn tlb_reach(base: &SystemConfig, entries: &[usize], jobs: u64, seed: u64) -> Vec<AblationPoint> {
-    entries
-        .iter()
-        .map(|&e| {
-            let cfg = base.clone().with_tlb_geometry(e, 6.min(e));
-            let r = Experiment::new(cfg, Configuration::AstriFlash)
-                .seed(seed)
-                .jobs_per_core(jobs)
-                .run();
-            point(e as f64, &r)
-        })
-        .collect()
+    run_knob(
+        entries
+            .iter()
+            .map(|&e| (e as f64, base.clone().with_tlb_geometry(e, 6.min(e))))
+            .collect(),
+        jobs,
+        seed,
+    )
 }
 
 /// Sweeps flash parallelism (dies per channel): the §II-A provisioning
@@ -148,18 +155,18 @@ pub fn flash_provisioning(
     jobs: u64,
     seed: u64,
 ) -> Vec<AblationPoint> {
-    dies_per_channel
-        .iter()
-        .map(|&dies| {
-            let mut cfg = base.clone();
-            cfg.flash.dies_per_channel = dies;
-            let r = Experiment::new(cfg, Configuration::AstriFlash)
-                .seed(seed)
-                .jobs_per_core(jobs)
-                .run();
-            point(dies as f64, &r)
-        })
-        .collect()
+    run_knob(
+        dies_per_channel
+            .iter()
+            .map(|&dies| {
+                let mut cfg = base.clone();
+                cfg.flash.dies_per_channel = dies;
+                (dies as f64, cfg)
+            })
+            .collect(),
+        jobs,
+        seed,
+    )
 }
 
 #[cfg(test)]

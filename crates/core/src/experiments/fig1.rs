@@ -13,6 +13,8 @@ use astriflash_mem::PageLru;
 use astriflash_sim::SimRng;
 use astriflash_workloads::{WorkloadKind, WorkloadParams, BLOCK_SIZE, PAGE_SIZE};
 
+use crate::sweep::Sweep;
+
 /// One sweep point.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig1Point {
@@ -30,8 +32,45 @@ pub struct Fig1Point {
 /// Per-core average DRAM bandwidth assumed by the paper (§II-A).
 pub const DRAM_BW_PER_CORE_GBPS: f64 = 0.5;
 
+/// One LRU replay: the page-granularity miss ratio of workload `i` at
+/// `capacity` pages. The seed expressions are part of the pinned output
+/// contract — do not change them.
+fn replay_miss_ratio(
+    params: &WorkloadParams,
+    kind: WorkloadKind,
+    i: usize,
+    capacity: usize,
+    accesses_per_point: usize,
+    seed: u64,
+) -> f64 {
+    let mut engine = kind.build(params, seed ^ (i as u64) << 8);
+    let mut rng = SimRng::new(seed ^ 0xF1 ^ (i as u64));
+    let mut lru = PageLru::new(capacity);
+    // Warmup phase: fill the cache to steady state.
+    let mut touched = 0usize;
+    while touched < accesses_per_point {
+        let job = engine.next_job(&mut rng);
+        for a in job.accesses() {
+            lru.access(a.addr / PAGE_SIZE);
+            touched += 1;
+        }
+    }
+    // Measurement phase with counters reset.
+    lru.reset_counters();
+    let mut measured = 0usize;
+    while measured < accesses_per_point / 2 {
+        let job = engine.next_job(&mut rng);
+        for a in job.accesses() {
+            lru.access(a.addr / PAGE_SIZE);
+            measured += 1;
+        }
+    }
+    lru.miss_ratio()
+}
+
 /// Runs the Fig. 1 sweep: miss ratio averaged over `workloads` at each
-/// DRAM fraction.
+/// DRAM fraction. Parallelized over the worker count in
+/// `ASTRIFLASH_THREADS`.
 pub fn sweep(
     params: &WorkloadParams,
     workloads: &[WorkloadKind],
@@ -39,38 +78,50 @@ pub fn sweep(
     accesses_per_point: usize,
     seed: u64,
 ) -> Vec<Fig1Point> {
+    sweep_with(
+        &Sweep::from_env(),
+        params,
+        workloads,
+        fractions,
+        accesses_per_point,
+        seed,
+    )
+}
+
+/// [`sweep`] with an explicit worker pool.
+pub fn sweep_with(
+    sweep: &Sweep,
+    params: &WorkloadParams,
+    workloads: &[WorkloadKind],
+    fractions: &[f64],
+    accesses_per_point: usize,
+    seed: u64,
+) -> Vec<Fig1Point> {
     let num_pages = (params.dataset_bytes / PAGE_SIZE).max(1);
+    // Flatten the (fraction × workload) grid: every LRU replay is an
+    // independent cell.
+    let grid: Vec<(f64, WorkloadKind, usize)> = fractions
+        .iter()
+        .flat_map(|&fraction| {
+            workloads
+                .iter()
+                .enumerate()
+                .map(move |(i, &kind)| (fraction, kind, i))
+        })
+        .collect();
+    let ratios = sweep.map(&grid, |_, &(fraction, kind, i)| {
+        let capacity = ((num_pages as f64 * fraction) as usize).max(1);
+        replay_miss_ratio(params, kind, i, capacity, accesses_per_point, seed)
+    });
+
+    // Merge in fraction order; the per-fraction mean sums ratios in
+    // workload order, exactly as the sequential version did.
     fractions
         .iter()
-        .map(|&fraction| {
-            let capacity = ((num_pages as f64 * fraction) as usize).max(1);
-            let mut ratios = Vec::with_capacity(workloads.len());
-            for (i, kind) in workloads.iter().enumerate() {
-                let mut engine = kind.build(params, seed ^ (i as u64) << 8);
-                let mut rng = SimRng::new(seed ^ 0xF1 ^ (i as u64));
-                let mut lru = PageLru::new(capacity);
-                // Warmup phase: fill the cache to steady state.
-                let mut touched = 0usize;
-                while touched < accesses_per_point {
-                    let job = engine.next_job(&mut rng);
-                    for a in job.accesses() {
-                        lru.access(a.addr / PAGE_SIZE);
-                        touched += 1;
-                    }
-                }
-                // Measurement phase with counters reset.
-                lru.reset_counters();
-                let mut measured = 0usize;
-                while measured < accesses_per_point / 2 {
-                    let job = engine.next_job(&mut rng);
-                    for a in job.accesses() {
-                        lru.access(a.addr / PAGE_SIZE);
-                        measured += 1;
-                    }
-                }
-                ratios.push(lru.miss_ratio());
-            }
-            let miss_ratio = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+        .enumerate()
+        .map(|(fi, &fraction)| {
+            let per_wl = &ratios[fi * workloads.len()..(fi + 1) * workloads.len()];
+            let miss_ratio = per_wl.iter().sum::<f64>() / per_wl.len().max(1) as f64;
             let per_core = DRAM_BW_PER_CORE_GBPS / BLOCK_SIZE as f64
                 * miss_ratio
                 * PAGE_SIZE as f64;

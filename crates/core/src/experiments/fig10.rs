@@ -8,6 +8,7 @@
 
 use crate::config::{Configuration, SystemConfig};
 use crate::experiment::Experiment;
+use crate::sweep::{Cell, Sweep};
 
 /// One load point of one system's tail-latency curve.
 #[derive(Debug, Clone, Copy)]
@@ -33,15 +34,27 @@ pub struct Fig10Curves {
     pub astriflash: Vec<Fig10Point>,
 }
 
-/// Runs the Fig. 10 sweep. `loads` are fractions of the DRAM-only
-/// saturation throughput (0 < load < 1).
+/// Runs the Fig. 10 sweep on the environment-configured pool. `loads`
+/// are fractions of the DRAM-only saturation throughput (0 < load < 1).
 pub fn sweep(
     base: &SystemConfig,
     loads: &[f64],
     jobs_per_point: u64,
     seed: u64,
 ) -> Fig10Curves {
-    // Measure DRAM-only saturation with a closed-loop run.
+    sweep_with(&Sweep::from_env(), base, loads, jobs_per_point, seed)
+}
+
+/// [`sweep`] with an explicit worker pool.
+pub fn sweep_with(
+    sweep: &Sweep,
+    base: &SystemConfig,
+    loads: &[f64],
+    jobs_per_point: u64,
+    seed: u64,
+) -> Fig10Curves {
+    // The saturation calibration run gates everything else, so it runs
+    // up front; both curves' load points then fan out as one grid.
     let sat_report = Experiment::new(base.clone(), Configuration::DramOnly)
         .seed(seed)
         .jobs_per_core(jobs_per_point.max(100) / base.cores.max(1) as u64 + 50)
@@ -49,30 +62,35 @@ pub fn sweep(
     let saturation = sat_report.throughput_jobs_per_sec;
     let base_service_ns = sat_report.mean_service_ns;
 
-    let curve = |conf: Configuration| -> Vec<Fig10Point> {
-        loads
-            .iter()
-            .map(|&load| {
-                let lambda = load * saturation; // jobs/s
-                let mean_interarrival_ns = 1e9 / lambda;
-                let r = Experiment::new(base.clone(), conf)
-                    .seed(seed ^ 0xF10)
-                    .open_loop(mean_interarrival_ns, jobs_per_point)
-                    .run();
-                Fig10Point {
-                    offered_load: load,
-                    achieved_load: r.throughput_jobs_per_sec / saturation,
-                    p99_norm: r.p99_response_ns as f64 / base_service_ns,
-                }
-            })
-            .collect()
-    };
+    // The `seed ^ 0xF10` expression is part of the pinned output
+    // contract — do not change it.
+    let grid: Vec<(Configuration, f64)> = [Configuration::DramOnly, Configuration::AstriFlash]
+        .iter()
+        .flat_map(|&conf| loads.iter().map(move |&load| (conf, load)))
+        .collect();
+    let points = sweep.map(&grid, |_, &(conf, load)| {
+        let lambda = load * saturation; // jobs/s
+        let mean_interarrival_ns = 1e9 / lambda;
+        let r = Cell::open(
+            base.clone(),
+            conf,
+            seed ^ 0xF10,
+            mean_interarrival_ns,
+            jobs_per_point,
+        )
+        .run();
+        Fig10Point {
+            offered_load: load,
+            achieved_load: r.throughput_jobs_per_sec / saturation,
+            p99_norm: r.p99_response_ns as f64 / base_service_ns,
+        }
+    });
 
     Fig10Curves {
         base_service_ns,
         saturation,
-        dram_only: curve(Configuration::DramOnly),
-        astriflash: curve(Configuration::AstriFlash),
+        dram_only: points[..loads.len()].to_vec(),
+        astriflash: points[loads.len()..].to_vec(),
     }
 }
 

@@ -9,6 +9,8 @@
 
 use astriflash_os::OsPagingCosts;
 
+use crate::sweep::Sweep;
+
 /// The cost view of *traditional* paging used by Fig. 2: every mapping
 /// change broadcasts its own shootdown (no reclaim batching). The paper
 /// argues even batched shootdowns accumulate with core count (§II-C);
@@ -33,38 +35,37 @@ pub struct Fig2Point {
     pub paging: f64,
 }
 
-/// Computes the sweep for the given per-miss work interval (µs).
+/// Computes the sweep for the given per-miss work interval (µs). The
+/// model is closed-form, but each core-count point still runs as an
+/// independent sweep cell for uniformity with the simulated figures.
 pub fn sweep(work_us: f64, core_counts: &[usize], costs: &OsPagingCosts) -> Vec<Fig2Point> {
     assert!(work_us > 0.0);
-    core_counts
-        .iter()
-        .map(|&cores| {
-            // Ideal: every core completes one work interval per
-            // `work_us` — flash latency fully overlapped, no overhead.
-            let ideal = cores as f64 / work_us;
+    Sweep::from_env().map(core_counts, |_, &cores| {
+        // Ideal: every core completes one work interval per
+        // `work_us` — flash latency fully overlapped, no overhead.
+        let ideal = cores as f64 / work_us;
 
-            // AstriFlash: ~0.2 µs of switch + flush per miss.
-            let astri_overhead_us = 0.2;
-            let astriflash = cores as f64 / (work_us + astri_overhead_us);
+        // AstriFlash: ~0.2 µs of switch + flush per miss.
+        let astri_overhead_us = 0.2;
+        let astriflash = cores as f64 / (work_us + astri_overhead_us);
 
-            // Paging: the faulting core pays its fault overhead; every
-            // core additionally absorbs responder interrupts from the
-            // (cores-1) other cores' fault streams.
-            let fault_us = costs.per_fault_overhead(cores).as_ns() as f64 / 1000.0;
-            let responder_us = costs.fault_breakdown(cores).responder_ns as f64 / 1000.0;
-            // Per work interval, each core receives one interrupt from
-            // each other core (they fault at the same rate).
-            let interrupt_load_us = responder_us * (cores as f64 - 1.0);
-            let paging = cores as f64 / (work_us + fault_us + interrupt_load_us);
+        // Paging: the faulting core pays its fault overhead; every
+        // core additionally absorbs responder interrupts from the
+        // (cores-1) other cores' fault streams.
+        let fault_us = costs.per_fault_overhead(cores).as_ns() as f64 / 1000.0;
+        let responder_us = costs.fault_breakdown(cores).responder_ns as f64 / 1000.0;
+        // Per work interval, each core receives one interrupt from
+        // each other core (they fault at the same rate).
+        let interrupt_load_us = responder_us * (cores as f64 - 1.0);
+        let paging = cores as f64 / (work_us + fault_us + interrupt_load_us);
 
-            Fig2Point {
-                cores,
-                ideal,
-                astriflash,
-                paging,
-            }
-        })
-        .collect()
+        Fig2Point {
+            cores,
+            ideal,
+            astriflash,
+            paging,
+        }
+    })
 }
 
 /// Default core-count grid.

@@ -7,6 +7,7 @@
 //! are M/M/k (logical multi-server).
 
 use crate::queueing::QueueModel;
+use crate::sweep::Sweep;
 
 /// The four analytic systems of Fig. 3.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,23 +60,22 @@ fn norm_p99(m: &QueueModel, lambda: f64, base_service_us: f64) -> Option<f64> {
 }
 
 /// Computes the Fig. 3 series over `loads` (fractions of DRAM-only
-/// saturation).
+/// saturation). Each load point is an independent closed-form
+/// evaluation, run as a sweep cell for uniformity with the simulated
+/// figures.
 pub fn sweep(systems: &Fig3Systems, loads: &[f64]) -> Vec<Fig3Point> {
     let base = systems.dram_only.service_us;
     let sat = systems.dram_only.saturation_throughput();
-    loads
-        .iter()
-        .map(|&load| {
-            let lambda = load * sat;
-            Fig3Point {
-                load,
-                dram_only: norm_p99(&systems.dram_only, lambda, base),
-                flash_sync: norm_p99(&systems.flash_sync, lambda, base),
-                os_swap: norm_p99(&systems.os_swap, lambda, base),
-                astriflash: norm_p99(&systems.astriflash, lambda, base),
-            }
-        })
-        .collect()
+    Sweep::from_env().map(loads, |_, &load| {
+        let lambda = load * sat;
+        Fig3Point {
+            load,
+            dram_only: norm_p99(&systems.dram_only, lambda, base),
+            flash_sync: norm_p99(&systems.flash_sync, lambda, base),
+            os_swap: norm_p99(&systems.os_swap, lambda, base),
+            astriflash: norm_p99(&systems.astriflash, lambda, base),
+        }
+    })
 }
 
 /// Default load grid (fractions of DRAM-only saturation).

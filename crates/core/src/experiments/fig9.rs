@@ -5,7 +5,7 @@
 //! OS-Swap ≈58 %, Flash-Sync ≈27 % of DRAM-only on average.
 
 use crate::config::{Configuration, SystemConfig};
-use crate::experiment::Experiment;
+use crate::sweep::{Cell, Sweep};
 use astriflash_workloads::WorkloadKind;
 
 /// Normalized throughput of one (workload, configuration) cell.
@@ -23,12 +23,8 @@ pub struct Fig9Cell {
     pub miss_interval_us: f64,
 }
 
-/// Runs the Fig. 9 matrix for the given workloads and configurations.
-///
-/// Workloads run on parallel threads (each simulation is single-threaded
-/// and deterministic, so parallelism across workloads changes nothing
-/// but wall-clock time). Results are returned in `workloads` ×
-/// `configurations` order regardless of completion order.
+/// Runs the Fig. 9 matrix for the given workloads and configurations on
+/// the environment-configured sweep pool (`ASTRIFLASH_THREADS`).
 pub fn run_matrix(
     base: &SystemConfig,
     workloads: &[WorkloadKind],
@@ -36,50 +32,80 @@ pub fn run_matrix(
     jobs_per_core: u64,
     seed: u64,
 ) -> Vec<Fig9Cell> {
-    let run_workload = |wl: WorkloadKind| -> Vec<Fig9Cell> {
-        let cfg = base.clone().with_workload(wl);
-        let dram = Experiment::new(cfg.clone(), Configuration::DramOnly)
-            .seed(seed)
-            .jobs_per_core(jobs_per_core)
-            .run();
-        configurations
-            .iter()
-            .map(|&conf| {
-                let report = if conf == Configuration::DramOnly {
-                    None
-                } else {
-                    Some(
-                        Experiment::new(cfg.clone(), conf)
-                            .seed(seed)
-                            .jobs_per_core(jobs_per_core)
-                            .run(),
-                    )
-                };
-                let (tput, miss) = match &report {
-                    Some(r) => (r.throughput_jobs_per_sec, r.miss_interval_us),
-                    None => (dram.throughput_jobs_per_sec, dram.miss_interval_us),
-                };
-                Fig9Cell {
-                    workload: wl.name(),
-                    configuration: conf,
-                    throughput: tput,
-                    normalized: tput / dram.throughput_jobs_per_sec,
-                    miss_interval_us: miss,
-                }
-            })
-            .collect()
-    };
+    run_matrix_with(
+        &Sweep::from_env(),
+        base,
+        workloads,
+        configurations,
+        jobs_per_core,
+        seed,
+    )
+}
 
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|&wl| scope.spawn(move || run_workload(wl)))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("workload thread panicked"))
-            .collect()
-    })
+/// [`run_matrix`] with an explicit worker pool.
+///
+/// The matrix is flattened into independent simulation cells — one
+/// DRAM-only baseline per workload plus one cell per non-DRAM
+/// configuration — so every cell packs onto the pool individually
+/// (finer-grained than the per-workload threads the harness used
+/// before). Results come back in `workloads` × `configurations` order
+/// regardless of completion order.
+pub fn run_matrix_with(
+    sweep: &Sweep,
+    base: &SystemConfig,
+    workloads: &[WorkloadKind],
+    configurations: &[Configuration],
+    jobs_per_core: u64,
+    seed: u64,
+) -> Vec<Fig9Cell> {
+    // `None` marks the per-workload DRAM-only baseline cell.
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut tags: Vec<(usize, Option<Configuration>)> = Vec::new();
+    for (wi, &wl) in workloads.iter().enumerate() {
+        let cfg = base.clone().with_workload(wl);
+        cells.push(Cell::closed(
+            cfg.clone(),
+            Configuration::DramOnly,
+            seed,
+            jobs_per_core,
+        ));
+        tags.push((wi, None));
+        for &conf in configurations {
+            if conf != Configuration::DramOnly {
+                cells.push(Cell::closed(cfg.clone(), conf, seed, jobs_per_core));
+                tags.push((wi, Some(conf)));
+            }
+        }
+    }
+    let reports = sweep.run(&cells);
+
+    let mut out = Vec::with_capacity(workloads.len() * configurations.len());
+    for (wi, &wl) in workloads.iter().enumerate() {
+        let report_for = |conf: Option<Configuration>| {
+            reports
+                .iter()
+                .zip(&tags)
+                .find(|(_, &(i, c))| i == wi && c == conf)
+                .map(|(r, _)| r)
+                .expect("matrix cell was scheduled")
+        };
+        let dram = report_for(None);
+        for &conf in configurations {
+            let r = if conf == Configuration::DramOnly {
+                dram
+            } else {
+                report_for(Some(conf))
+            };
+            out.push(Fig9Cell {
+                workload: wl.name(),
+                configuration: conf,
+                throughput: r.throughput_jobs_per_sec,
+                normalized: r.throughput_jobs_per_sec / dram.throughput_jobs_per_sec,
+                miss_interval_us: r.miss_interval_us,
+            });
+        }
+    }
+    out
 }
 
 /// Geometric-mean normalized throughput of `configuration` across the

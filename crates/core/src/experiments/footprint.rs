@@ -8,7 +8,7 @@
 //! at the cost of occasional sub-misses when the prediction was short.
 
 use crate::config::{Configuration, SystemConfig};
-use crate::experiment::Experiment;
+use crate::sweep::{Cell, Sweep};
 
 /// Results of one footprint-vs-baseline comparison.
 #[derive(Debug, Clone, Copy)]
@@ -43,19 +43,23 @@ impl FootprintComparison {
     }
 }
 
-/// Runs the comparison on `base`'s workload.
+/// Runs the comparison on `base`'s workload: both the full-page and the
+/// footprint cell run concurrently on the environment-configured pool.
 pub fn compare(base: &SystemConfig, jobs_per_core: u64, seed: u64) -> FootprintComparison {
-    let run = |footprint: bool| {
-        Experiment::new(
-            base.clone().with_footprint_cache(footprint),
-            Configuration::AstriFlash,
-        )
-        .seed(seed)
-        .jobs_per_core(jobs_per_core)
-        .run()
-    };
-    let baseline = run(false);
-    let fp = run(true);
+    let cells: Vec<Cell> = [false, true]
+        .iter()
+        .map(|&footprint| {
+            Cell::closed(
+                base.clone().with_footprint_cache(footprint),
+                Configuration::AstriFlash,
+                seed,
+                jobs_per_core,
+            )
+        })
+        .collect();
+    let mut reports = Sweep::from_env().run(&cells).into_iter();
+    let baseline = reports.next().expect("baseline cell ran");
+    let fp = reports.next().expect("footprint cell ran");
     FootprintComparison {
         base_throughput: baseline.throughput_jobs_per_sec,
         footprint_throughput: fp.throughput_jobs_per_sec,

@@ -7,6 +7,8 @@
 use astriflash_flash::{FlashConfig, FlashDevice};
 use astriflash_sim::{SimDuration, SimRng, SimTime};
 
+use crate::sweep::Sweep;
+
 /// One capacity point.
 #[derive(Debug, Clone, Copy)]
 pub struct GcPoint {
@@ -19,44 +21,43 @@ pub struct GcPoint {
 }
 
 /// Runs the sweep: the same absolute request stream against devices of
-/// growing capacity (more planes).
+/// growing capacity (more planes). Each capacity point is an
+/// independent device replay, so the points run concurrently on the
+/// environment-configured pool.
 pub fn sweep(multipliers: &[usize], requests: u64, write_fraction: f64, seed: u64) -> Vec<GcPoint> {
-    multipliers
-        .iter()
-        .map(|&mult| {
-            let cfg = FlashConfig {
-                capacity_bytes: (64 << 20) * mult as u64,
-                channels: 2 * mult,
-                dies_per_channel: 2,
-                planes_per_die: 1,
-                pages_per_block: 64,
-                ..FlashConfig::default()
-            };
-            let mut dev = FlashDevice::new(cfg, seed);
-            let pages = dev.config().num_logical_pages();
-            let mut rng = SimRng::new(seed ^ 0x6C);
-            let mut now = SimTime::ZERO;
-            // A hot write working set (1/4 of the smallest device)
-            // keeps GC active regardless of size: victims always hold a
-            // mix of live and dead pages.
-            // The arrival rate is fixed, so growing the device spreads
-            // the same load over more planes — the paper's "more chips"
-            // argument (§VI-D).
-            let hot_pages = (16 << 20) / 4096;
-            for _ in 0..requests {
-                now += SimDuration::from_us(60);
-                if rng.gen_bool(write_fraction) {
-                    dev.write(now, rng.gen_range(hot_pages));
-                }
-                dev.read(now, rng.gen_range(pages));
+    Sweep::from_env().map(multipliers, |_, &mult| {
+        let cfg = FlashConfig {
+            capacity_bytes: (64 << 20) * mult as u64,
+            channels: 2 * mult,
+            dies_per_channel: 2,
+            planes_per_die: 1,
+            pages_per_block: 64,
+            ..FlashConfig::default()
+        };
+        let mut dev = FlashDevice::new(cfg, seed);
+        let pages = dev.config().num_logical_pages();
+        let mut rng = SimRng::new(seed ^ 0x6C);
+        let mut now = SimTime::ZERO;
+        // A hot write working set (1/4 of the smallest device)
+        // keeps GC active regardless of size: victims always hold a
+        // mix of live and dead pages.
+        // The arrival rate is fixed, so growing the device spreads
+        // the same load over more planes — the paper's "more chips"
+        // argument (§VI-D).
+        let hot_pages = (16 << 20) / 4096;
+        for _ in 0..requests {
+            now += SimDuration::from_us(60);
+            if rng.gen_bool(write_fraction) {
+                dev.write(now, rng.gen_range(hot_pages));
             }
-            GcPoint {
-                capacity_multiplier: mult,
-                blocked_fraction: dev.stats().gc_blocked_fraction(),
-                gc_erases: dev.stats().gc_erases,
-            }
-        })
-        .collect()
+            dev.read(now, rng.gen_range(pages));
+        }
+        GcPoint {
+            capacity_multiplier: mult,
+            blocked_fraction: dev.stats().gc_blocked_fraction(),
+            gc_erases: dev.stats().gc_erases,
+        }
+    })
 }
 
 #[cfg(test)]

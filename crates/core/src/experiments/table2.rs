@@ -6,7 +6,7 @@
 //! its flash waits — no scheduling delay.
 
 use crate::config::{Configuration, SystemConfig};
-use crate::experiment::Experiment;
+use crate::sweep::{Cell, Sweep};
 
 /// One row of Table II.
 #[derive(Debug, Clone, Copy)]
@@ -19,30 +19,35 @@ pub struct Table2Row {
     pub normalized: f64,
 }
 
-/// Runs the Table II comparison.
+/// Runs the Table II comparison on the environment-configured pool.
 pub fn run(base: &SystemConfig, jobs_per_core: u64, seed: u64) -> Vec<Table2Row> {
+    run_with(&Sweep::from_env(), base, jobs_per_core, seed)
+}
+
+/// [`run`] with an explicit worker pool. Flash-Sync stays row 0 — it is
+/// the normalization reference.
+pub fn run_with(
+    sweep: &Sweep,
+    base: &SystemConfig,
+    jobs_per_core: u64,
+    seed: u64,
+) -> Vec<Table2Row> {
     let configs = [
         Configuration::FlashSync,
         Configuration::AstriFlash,
         Configuration::AstriFlashNoPS,
         Configuration::AstriFlashNoDP,
     ];
-    let reports: Vec<_> = configs
+    let cells: Vec<Cell> = configs
         .iter()
-        .map(|&c| {
-            (
-                c,
-                Experiment::new(base.clone(), c)
-                    .seed(seed)
-                    .jobs_per_core(jobs_per_core)
-                    .run(),
-            )
-        })
+        .map(|&c| Cell::closed(base.clone(), c, seed, jobs_per_core))
         .collect();
-    let reference = reports[0].1.p99_service_ns.max(1) as f64;
-    reports
-        .into_iter()
-        .map(|(configuration, r)| Table2Row {
+    let reports = sweep.run(&cells);
+    let reference = reports[0].p99_service_ns.max(1) as f64;
+    configs
+        .iter()
+        .zip(&reports)
+        .map(|(&configuration, r)| Table2Row {
             configuration,
             p99_service_ns: r.p99_service_ns,
             normalized: r.p99_service_ns as f64 / reference,

@@ -37,9 +37,11 @@ pub mod config;
 pub mod experiment;
 pub mod experiments;
 pub mod queueing;
+pub mod sweep;
 pub mod system;
 
 pub use config::{Configuration, SystemConfig};
-pub use experiment::{Experiment, RunReport};
+pub use experiment::{Experiment, Load, RunReport};
 pub use queueing::QueueModel;
+pub use sweep::{Cell, Sweep};
 pub use system::SystemSim;

@@ -1,0 +1,113 @@
+//! Golden regression tests pinning the seed-1 headline numbers from
+//! EXPERIMENTS.md.
+//!
+//! The Fig. 3 goldens are analytic and always run. The Fig. 1 and
+//! Fig. 9 goldens replay the full-scale experiments behind the
+//! committed `results/` files, so they are release-only (ignored under
+//! `debug_assertions`); `scripts/ci.sh` runs them via
+//! `cargo test --release`.
+
+use astriflash_core::config::{Configuration, SystemConfig};
+use astriflash_core::experiments::{fig1, fig3, fig9};
+use astriflash_workloads::{WorkloadKind, WorkloadParams};
+
+/// Tolerance for values EXPERIMENTS.md reports at three decimals.
+const TABLE_TOL: f64 = 5e-4;
+
+#[test]
+fn fig3_saturation_throughputs_match_experiments_md() {
+    let s = fig3::Fig3Systems::paper_defaults();
+    let dram = s.dram_only.saturation_throughput();
+    let astri = s.astriflash.saturation_throughput() / dram;
+    let os = s.os_swap.saturation_throughput() / dram;
+    let sync = s.flash_sync.saturation_throughput() / dram;
+    // EXPERIMENTS.md: AstriFlash 0.98, OS-Swap 0.50, Flash-Sync 0.17.
+    assert!((astri - 0.98).abs() < 5e-3, "AstriFlash saturation {astri}");
+    assert!((os - 0.50).abs() < 5e-3, "OS-Swap saturation {os}");
+    assert!((sync - 0.17).abs() < 5e-3, "Flash-Sync saturation {sync}");
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-scale golden; run with `cargo test --release`"
+)]
+fn fig1_three_percent_anchor_matches_experiments_md() {
+    let params = WorkloadParams::scaled_down();
+    let workloads = [
+        WorkloadKind::HashTable,
+        WorkloadKind::RbTree,
+        WorkloadKind::Tatp,
+        WorkloadKind::ArraySwap,
+    ];
+    let points = fig1::sweep(&params, &workloads, &fig1::default_fractions(), 2_000_000, 1);
+    let p3 = points
+        .iter()
+        .find(|p| (p.dram_fraction - 0.03).abs() < 1e-9)
+        .expect("3% point in default grid");
+    // results/csv/fig1.csv at full precision.
+    assert!(
+        (p3.miss_ratio - 0.029955362365166275).abs() < 1e-9,
+        "miss ratio at 3% DRAM drifted: {}",
+        p3.miss_ratio
+    );
+    assert!(
+        (p3.flash_bw_64core_gbps - 61.34858212386053).abs() < 1e-6,
+        "64-core flash bandwidth at 3% DRAM drifted: {}",
+        p3.flash_bw_64core_gbps
+    );
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-scale golden; run with `cargo test --release`"
+)]
+fn fig9_matrix_matches_experiments_md() {
+    let configs = [
+        Configuration::AstriFlash,
+        Configuration::AstriFlashIdeal,
+        Configuration::AstriFlashNoPS,
+        Configuration::AstriFlashNoDP,
+        Configuration::OsSwap,
+        Configuration::FlashSync,
+    ];
+    let workloads = WorkloadKind::all();
+    let cells = fig9::run_matrix(&SystemConfig::default(), &workloads, &configs, 400, 1);
+
+    // The EXPERIMENTS.md table, rows in WorkloadKind::all() order,
+    // columns in `configs` order.
+    let expected: [(&str, [f64; 6]); 7] = [
+        ("ArraySwap", [0.908, 0.924, 0.967, 0.856, 0.440, 0.233]),
+        ("HashTable", [0.912, 0.942, 0.912, 0.860, 0.429, 0.208]),
+        ("RBT", [0.843, 0.875, 0.157, 0.754, 0.322, 0.151]),
+        ("TATP", [0.969, 0.985, 0.985, 0.686, 0.556, 0.360]),
+        ("TPCC", [0.981, 0.985, 0.979, 0.946, 0.570, 0.281]),
+        ("Silo", [0.937, 0.960, 0.395, 0.905, 0.433, 0.213]),
+        ("Masstree", [0.851, 0.866, 0.144, 0.815, 0.333, 0.142]),
+    ];
+    for (workload, row) in expected {
+        for (conf, want) in configs.iter().zip(row) {
+            let got = cells
+                .iter()
+                .find(|c| c.workload == workload && c.configuration == *conf)
+                .unwrap_or_else(|| panic!("missing cell {workload}/{}", conf.name()))
+                .normalized;
+            assert!(
+                (got - want).abs() < TABLE_TOL,
+                "{workload}/{}: normalized throughput {got} drifted from {want}",
+                conf.name()
+            );
+        }
+    }
+
+    let geomeans = [0.913, 0.933, 0.498, 0.827, 0.431, 0.217];
+    for (conf, want) in configs.iter().zip(geomeans) {
+        let got = fig9::geomean_normalized(&cells, *conf);
+        assert!(
+            (got - want).abs() < TABLE_TOL,
+            "geomean {}: {got} drifted from {want}",
+            conf.name()
+        );
+    }
+}

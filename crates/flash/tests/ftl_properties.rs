@@ -1,10 +1,9 @@
 //! Property tests of the FTL and garbage collector: no write stream may
 //! ever lose a page mapping or double-book a physical page.
 
-use proptest::prelude::*;
-
 use astriflash_flash::{FlashConfig, FlashDevice};
 use astriflash_sim::{SimDuration, SimTime};
+use astriflash_testkit::prop_check;
 
 fn tiny_device(seed: u64) -> FlashDevice {
     FlashDevice::new(
@@ -20,36 +19,38 @@ fn tiny_device(seed: u64) -> FlashDevice {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// After an arbitrary write stream (with GC churn), every written
-    /// logical page still has exactly one mapping, and timestamps are
-    /// monotone per call site.
-    #[test]
-    fn mappings_survive_gc(writes in prop::collection::vec(0u64..512, 1..600)) {
+/// After an arbitrary write stream (with GC churn), every written
+/// logical page still has exactly one mapping, and timestamps are
+/// monotone per call site.
+#[test]
+fn mappings_survive_gc() {
+    prop_check!(cases: 32, |g| {
+        let writes = g.vec(1..600, |g| g.u64_in(0..512));
         let mut dev = tiny_device(7);
         let mut now = SimTime::ZERO;
         let mut written = std::collections::HashSet::new();
         for &page in &writes {
             now += SimDuration::from_us(250);
             let done = dev.write(now, page);
-            prop_assert!(done > now);
+            assert!(done > now);
             written.insert(page);
         }
         for &page in &written {
-            prop_assert!(
+            assert!(
                 dev.ftl().lookup(page).is_some(),
                 "page {page} lost its mapping"
             );
         }
-        prop_assert_eq!(dev.ftl().mapped_pages(), written.len());
-    }
+        assert_eq!(dev.ftl().mapped_pages(), written.len());
+    });
+}
 
-    /// Reads always complete after their issue time and never disturb
-    /// the mapping state.
-    #[test]
-    fn reads_are_pure(pages in prop::collection::vec(0u64..2048, 1..200)) {
+/// Reads always complete after their issue time and never disturb the
+/// mapping state.
+#[test]
+fn reads_are_pure() {
+    prop_check!(cases: 32, |g| {
+        let pages = g.vec(1..200, |g| g.u64_in(0..2048));
         let mut dev = tiny_device(9);
         // Seed some writes.
         let mut now = SimTime::ZERO;
@@ -61,15 +62,18 @@ proptest! {
         for &page in &pages {
             now += SimDuration::from_us(60);
             let done = dev.read(now, page);
-            prop_assert!(done >= now);
+            assert!(done >= now);
         }
-        prop_assert_eq!(dev.ftl().mapped_pages(), mapped_before);
-        prop_assert_eq!(dev.stats().reads, pages.len() as u64);
-    }
+        assert_eq!(dev.ftl().mapped_pages(), mapped_before);
+        assert_eq!(dev.stats().reads, pages.len() as u64);
+    });
+}
 
-    /// GC-disabled devices never erase, whatever the write stream.
-    #[test]
-    fn disabled_gc_never_erases(writes in prop::collection::vec(0u64..256, 1..400)) {
+/// GC-disabled devices never erase, whatever the write stream.
+#[test]
+fn disabled_gc_never_erases() {
+    prop_check!(cases: 32, |g| {
+        let writes = g.vec(1..400, |g| g.u64_in(0..256));
         let mut dev = FlashDevice::new(
             FlashConfig {
                 capacity_bytes: 8 << 20,
@@ -86,7 +90,7 @@ proptest! {
             now += SimDuration::from_us(250);
             dev.write(now, page);
         }
-        prop_assert_eq!(dev.stats().gc_erases, 0);
-        prop_assert_eq!(dev.total_erases(), 0);
-    }
+        assert_eq!(dev.stats().gc_erases, 0);
+        assert_eq!(dev.total_erases(), 0);
+    });
 }

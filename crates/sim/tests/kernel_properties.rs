@@ -1,90 +1,98 @@
 //! Property tests of the simulation kernel primitives.
 
-use proptest::prelude::*;
-
 use astriflash_sim::{BandwidthLink, BoundedQueue, SimDuration, SimRng, SimTime};
+use astriflash_testkit::prop_check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Time arithmetic: (t + d) - t == d and ordering is preserved, for any
+/// values that do not overflow.
+#[test]
+fn time_arithmetic_roundtrips() {
+    prop_check!(cases: 128, |g| {
+        let t = SimTime::from_ns(g.u64_in(0..u64::MAX / 4));
+        let d = SimDuration::from_ns(g.u64_in(0..u64::MAX / 4));
+        assert_eq!((t + d) - t, d);
+        assert!((t + d) >= t);
+    });
+}
 
-    /// Time arithmetic: (t + d) - t == d and ordering is preserved, for
-    /// any values that do not overflow.
-    #[test]
-    fn time_arithmetic_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
-        let t = SimTime::from_ns(t);
-        let d = SimDuration::from_ns(d);
-        prop_assert_eq!((t + d) - t, d);
-        prop_assert!((t + d) >= t);
-    }
-
-    /// A bandwidth link never completes a transfer before its request
-    /// and total busy time equals the sum of service times.
-    #[test]
-    fn bandwidth_link_is_causal(
-        sizes in prop::collection::vec(1u64..1_000_000, 1..50),
-        bps in 1_000_000u64..100_000_000_000,
-    ) {
+/// A bandwidth link never completes a transfer before its request and
+/// total busy time equals the sum of service times.
+#[test]
+fn bandwidth_link_is_causal() {
+    prop_check!(cases: 128, |g| {
+        let sizes = g.vec(1..50, |g| g.u64_in(1..1_000_000));
+        let bps = g.u64_in(1_000_000..100_000_000_000);
         let mut link = BandwidthLink::new(bps);
         let mut last_done = SimTime::ZERO;
         let mut expect_busy = SimDuration::ZERO;
         for &bytes in &sizes {
             let done = link.transfer(SimTime::ZERO, bytes);
-            prop_assert!(done >= last_done, "completions must be ordered");
+            assert!(done >= last_done, "completions must be ordered");
             expect_busy += link.service_time(bytes);
             last_done = done;
         }
         // Back-to-back requests at t=0 keep the link busy continuously.
-        prop_assert_eq!(link.busy_until() - SimTime::ZERO, expect_busy);
-        prop_assert_eq!(link.bytes_moved(), sizes.iter().sum::<u64>());
-    }
+        assert_eq!(link.busy_until() - SimTime::ZERO, expect_busy);
+        assert_eq!(link.bytes_moved(), sizes.iter().sum::<u64>());
+    });
+}
 
-    /// Bounded queues preserve FIFO order and never exceed capacity.
-    #[test]
-    fn bounded_queue_fifo(
-        items in prop::collection::vec(any::<u32>(), 1..200),
-        capacity in 1usize..64,
-    ) {
+/// Bounded queues preserve FIFO order and never exceed capacity.
+#[test]
+fn bounded_queue_fifo() {
+    prop_check!(cases: 128, |g| {
+        let items = g.vec(1..200, |g| g.any_u32());
+        let capacity = g.usize_in(1..64);
         let mut q = BoundedQueue::new(capacity);
         let mut accepted = Vec::new();
         for &item in &items {
             if q.push(SimTime::ZERO, item).is_ok() {
                 accepted.push(item);
             }
-            prop_assert!(q.len() <= capacity);
+            assert!(q.len() <= capacity);
         }
-        let drained: Vec<u32> =
-            std::iter::from_fn(|| q.pop(SimTime::ZERO)).collect();
-        prop_assert_eq!(drained, accepted);
-    }
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop(SimTime::ZERO)).collect();
+        assert_eq!(drained, accepted);
+    });
+}
 
-    /// The RNG's bounded generation is uniform enough that every residue
-    /// class of a small modulus is hit.
-    #[test]
-    fn rng_bounded_covers(seed in any::<u64>(), bound in 2u64..32) {
+/// The RNG's bounded generation is uniform enough that every residue
+/// class of a small modulus is hit.
+#[test]
+fn rng_bounded_covers() {
+    prop_check!(cases: 128, |g| {
+        let seed = g.any_u64();
+        let bound = g.u64_in(2..32);
         let mut rng = SimRng::new(seed);
         let mut seen = vec![false; bound as usize];
         for _ in 0..(bound * 200) {
             let v = rng.gen_range(bound);
-            prop_assert!(v < bound);
+            assert!(v < bound);
             seen[v as usize] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s), "a residue class was never drawn");
-    }
+        assert!(seen.iter().all(|&s| s), "a residue class was never drawn");
+    });
+}
 
-    /// Exponential samples are nonnegative and the sample mean is within
-    /// a loose band of the requested mean.
-    #[test]
-    fn exponential_mean_band(seed in any::<u64>(), mean in 1.0f64..100_000.0) {
+/// Exponential samples are nonnegative and the sample mean is within a
+/// loose band of the requested mean.
+#[test]
+fn exponential_mean_band() {
+    prop_check!(cases: 128, |g| {
+        let seed = g.any_u64();
+        let mean = g.f64_in(1.0..100_000.0);
         let mut rng = SimRng::new(seed);
         let n = 20_000;
         let mut sum = 0.0;
         for _ in 0..n {
             let v = rng.gen_exp(mean);
-            prop_assert!(v >= 0.0);
+            assert!(v >= 0.0);
             sum += v;
         }
         let sample_mean = sum / n as f64;
-        prop_assert!((sample_mean - mean).abs() / mean < 0.1,
-            "sample mean {sample_mean} vs {mean}");
-    }
+        assert!(
+            (sample_mean - mean).abs() / mean < 0.1,
+            "sample mean {sample_mean} vs {mean}"
+        );
+    });
 }

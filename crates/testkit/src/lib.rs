@@ -1,0 +1,316 @@
+//! In-tree property-testing kit for the AstriFlash workspace.
+//!
+//! A deliberately small replacement for the `proptest` registry
+//! dependency so the whole workspace builds and tests **offline**:
+//! deterministic splitmix64/xoshiro256++-based value generators plus the
+//! [`prop_check!`] macro, which runs a closure over many generated cases
+//! and reports a shrinking-free counterexample (case index + RNG seed)
+//! on failure. Any failure is reproducible by re-running with
+//! `ASTRIFLASH_PROP_SEED` set to the reported base seed.
+//!
+//! # Example
+//!
+//! ```
+//! use astriflash_testkit::prop_check;
+//!
+//! prop_check!(cases: 32, |g| {
+//!     let mut v = g.vec(1..50, |g| g.u64_in(0..1_000));
+//!     v.sort_unstable();
+//!     for w in v.windows(2) {
+//!         assert!(w[0] <= w[1]);
+//!     }
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// SplitMix64 step — the seeding/derivation primitive (same algorithm as
+/// `astriflash_sim::rng::splitmix64`, duplicated here so the testkit has
+/// no dependencies and can be a dev-dependency of every crate, including
+/// `astriflash-sim` itself).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256++ generator driving all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a seed (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        TestRng { s }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value over the whole `u64` domain.
+    pub fn any_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// Uniform value over the whole `u32` domain.
+    pub fn any_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fair coin flip.
+    pub fn any_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    pub fn bool_p(&mut self, p: f64) -> bool {
+        self.f64_unit() < p
+    }
+
+    /// Uniform value in the half-open range (Lemire bounded generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range {range:?}");
+        let bound = range.end - range.start;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut l = m as u64;
+        if l < bound {
+            let t = bound.wrapping_neg() % bound;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                l = m as u64;
+            }
+        }
+        range.start + (m >> 64) as u64
+    }
+
+    /// Uniform `u32` in the half-open range.
+    pub fn u32_in(&mut self, range: Range<u32>) -> u32 {
+        self.u64_in(range.start as u64..range.end as u64) as u32
+    }
+
+    /// Uniform `usize` in the half-open range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.u64_in(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in the half-open range.
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range {range:?}");
+        range.start + self.f64_unit() * (range.end - range.start)
+    }
+
+    /// A vector whose length is drawn from `len`, with elements produced
+    /// by `item`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut item: impl FnMut(&mut Self) -> T) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| item(self)).collect()
+    }
+
+    /// A set of distinct `u64`s drawn from `values`, with target size
+    /// drawn from `len` (clamped to the domain size).
+    pub fn hash_set_u64(&mut self, values: Range<u64>, len: Range<usize>) -> HashSet<u64> {
+        let domain = (values.end - values.start) as usize;
+        let target = self.usize_in(len).min(domain);
+        let mut set = HashSet::with_capacity(target);
+        // Rejection sampling; the bounded attempt count keeps pathological
+        // (target ≈ domain) draws from spinning.
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target.saturating_mul(64) + 64 {
+            set.insert(self.u64_in(values.clone()));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// Derives the deterministic RNG seed of one case from the base seed.
+pub fn case_seed(base: u64, case: u64) -> u64 {
+    let mut s = base ^ case.wrapping_mul(0xA24B_AED4_963E_E407);
+    splitmix64(&mut s)
+}
+
+/// Default base seed for a call site, overridable via
+/// `ASTRIFLASH_PROP_SEED` for counterexample reproduction.
+pub fn base_seed(file: &str, line: u32) -> u64 {
+    if let Ok(v) = std::env::var("ASTRIFLASH_PROP_SEED") {
+        if let Ok(seed) = v.trim().parse::<u64>() {
+            return seed;
+        }
+    }
+    // Stable per call site so distinct prop_check! blocks explore
+    // distinct streams.
+    let mut s = 0xA57F_1A5Du64 ^ line as u64;
+    for b in file.bytes() {
+        s = s.wrapping_mul(0x100_0000_01B3) ^ b as u64;
+    }
+    s
+}
+
+/// Runs `body` over `cases` generated cases; on panic, reports the case
+/// index and base seed needed to reproduce it (no shrinking).
+///
+/// Prefer the [`prop_check!`] macro, which fills in the call site.
+pub fn check(cases: u64, base: u64, location: &str, body: impl Fn(&mut TestRng)) {
+    assert!(cases > 0, "prop_check needs at least one case");
+    for case in 0..cases {
+        let seed = case_seed(base, case);
+        let mut rng = TestRng::new(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_string());
+            panic!(
+                "prop_check at {location}: case {case}/{cases} failed \
+                 (case seed {seed:#x}); reproduce with \
+                 ASTRIFLASH_PROP_SEED={base}\n  cause: {msg}"
+            );
+        }
+    }
+}
+
+/// Property-check entry point: runs the closure body over many
+/// deterministically generated cases.
+///
+/// ```
+/// use astriflash_testkit::prop_check;
+///
+/// prop_check!(cases: 16, |g| {
+///     let x = g.u64_in(1..1_000);
+///     assert!(x.leading_zeros() >= 54);
+/// });
+/// ```
+#[macro_export]
+macro_rules! prop_check {
+    (cases: $cases:expr, |$g:ident| $body:block) => {
+        $crate::check(
+            $cases,
+            $crate::base_seed(file!(), line!()),
+            concat!(file!(), ":", line!()),
+            |$g: &mut $crate::TestRng| $body,
+        )
+    };
+    (|$g:ident| $body:block) => {
+        $crate::prop_check!(cases: 64, |$g| $body)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut g = TestRng::new(3);
+        for _ in 0..10_000 {
+            let v = g.u64_in(10..20);
+            assert!((10..20).contains(&v));
+            let f = g.f64_in(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_coverage() {
+        let mut g = TestRng::new(5);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[g.usize_in(0..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hash_set_sizes_and_domain() {
+        let mut g = TestRng::new(9);
+        for _ in 0..100 {
+            let set = g.hash_set_u64(0..50, 1..40);
+            assert!(!set.is_empty() || set.len() < 40);
+            assert!(set.iter().all(|&v| v < 50));
+        }
+        // Target larger than the domain clamps instead of spinning.
+        let set = g.hash_set_u64(0..4, 10..11);
+        assert!(set.len() <= 4);
+    }
+
+    #[test]
+    fn case_seeds_differ() {
+        let a = case_seed(1, 0);
+        let b = case_seed(1, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prop_check_reports_case_and_seed() {
+        let err = catch_unwind(|| {
+            check(8, 42, "here", |g| {
+                let v = g.u64_in(0..100);
+                assert!(v > 1_000, "impossible");
+            });
+        })
+        .expect_err("must fail");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("case 0/8"), "got: {msg}");
+        assert!(msg.contains("ASTRIFLASH_PROP_SEED=42"), "got: {msg}");
+        assert!(msg.contains("impossible"), "got: {msg}");
+    }
+
+    #[test]
+    fn passing_properties_pass() {
+        prop_check!(cases: 16, |g| {
+            let v = g.vec(0..20, |g| g.any_u32());
+            assert!(v.len() < 20);
+        });
+    }
+}

@@ -2,10 +2,10 @@
 //! every parked thread is returned exactly once, under both policies and
 //! arbitrary interleavings of parks, arrivals, and picks.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 
 use astriflash_sim::SimTime;
+use astriflash_testkit::{prop_check, TestRng};
 use astriflash_uthread::{MissPark, Pick, Policy, Scheduler};
 
 /// A random scheduler interaction script.
@@ -16,18 +16,18 @@ enum Op {
     Pick { new_available: bool, after_miss: bool },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..64).prop_map(Op::Park),
-        (0u32..64).prop_map(Op::Arrive),
-        (any::<bool>(), any::<bool>()).prop_map(|(n, m)| Op::Pick {
-            new_available: n,
-            after_miss: m
-        }),
-    ]
+fn gen_op(g: &mut TestRng) -> Op {
+    match g.usize_in(0..3) {
+        0 => Op::Park(g.u32_in(0..64)),
+        1 => Op::Arrive(g.u32_in(0..64)),
+        _ => Op::Pick {
+            new_available: g.any_bool(),
+            after_miss: g.any_bool(),
+        },
+    }
 }
 
-fn run_script(policy: Policy, ops: &[Op]) -> Result<(), TestCaseError> {
+fn run_script(policy: Policy, ops: &[Op]) {
     let mut s = Scheduler::new(policy, 16);
     let mut parked: HashSet<u32> = HashSet::new();
     let mut t = 0u64;
@@ -41,14 +41,14 @@ fn run_script(policy: Policy, ops: &[Op]) -> Result<(), TestCaseError> {
                 }
                 match s.park_on_miss(now, *thread) {
                     MissPark::Parked => {
-                        prop_assert!(parked.insert(*thread));
+                        assert!(parked.insert(*thread));
                     }
                     MissPark::QueueFullWaitFor(oldest) => {
-                        prop_assert!(
+                        assert!(
                             parked.contains(&oldest),
                             "queue-full must name a parked thread"
                         );
-                        prop_assert_eq!(parked.len(), 16, "full means at capacity");
+                        assert_eq!(parked.len(), 16, "full means at capacity");
                     }
                 }
             }
@@ -56,7 +56,7 @@ fn run_script(policy: Policy, ops: &[Op]) -> Result<(), TestCaseError> {
                 // Arrivals for unknown threads must be harmless no-ops.
                 s.page_arrived(now, *thread);
                 if parked.contains(thread) {
-                    prop_assert!(s.is_ready(*thread));
+                    assert!(s.is_ready(*thread));
                 }
             }
             Op::Pick {
@@ -64,20 +64,20 @@ fn run_script(policy: Policy, ops: &[Op]) -> Result<(), TestCaseError> {
                 after_miss,
             } => match s.pick(now, *new_available, *after_miss) {
                 Pick::Pending { thread, .. } => {
-                    prop_assert!(
+                    assert!(
                         parked.remove(&thread),
                         "scheduler returned a thread that was not parked"
                     );
                 }
                 Pick::NewJob => {
-                    prop_assert!(*new_available, "NewJob without new work");
+                    assert!(*new_available, "NewJob without new work");
                 }
                 Pick::Idle => {
-                    prop_assert!(!*new_available, "idle despite new work");
+                    assert!(!*new_available, "idle despite new work");
                 }
             },
         }
-        prop_assert_eq!(s.pending_len(), parked.len());
+        assert_eq!(s.pending_len(), parked.len());
     }
     // Drain: everything parked must come back exactly once.
     let mut drained = HashSet::new();
@@ -85,26 +85,27 @@ fn run_script(policy: Policy, ops: &[Op]) -> Result<(), TestCaseError> {
         let now = SimTime::from_ns(t + 1_000 * (i + 1));
         match s.pick(now, false, false) {
             Pick::Pending { thread, .. } => {
-                prop_assert!(drained.insert(thread), "thread {thread} returned twice");
+                assert!(drained.insert(thread), "thread {thread} returned twice");
             }
             Pick::Idle => break,
-            Pick::NewJob => prop_assert!(false, "NewJob while draining"),
+            Pick::NewJob => panic!("NewJob while draining"),
         }
     }
-    prop_assert_eq!(drained, parked);
-    Ok(())
+    assert_eq!(drained, parked);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+#[test]
+fn priority_scheduler_conserves_threads() {
+    prop_check!(cases: 96, |g| {
+        let ops = g.vec(1..300, gen_op);
+        run_script(Policy::PriorityAging, &ops);
+    });
+}
 
-    #[test]
-    fn priority_scheduler_conserves_threads(ops in prop::collection::vec(op_strategy(), 1..300)) {
-        run_script(Policy::PriorityAging, &ops)?;
-    }
-
-    #[test]
-    fn fifo_scheduler_conserves_threads(ops in prop::collection::vec(op_strategy(), 1..300)) {
-        run_script(Policy::Fifo, &ops)?;
-    }
+#[test]
+fn fifo_scheduler_conserves_threads() {
+    prop_check!(cases: 96, |g| {
+        let ops = g.vec(1..300, gen_op);
+        run_script(Policy::Fifo, &ops);
+    });
 }

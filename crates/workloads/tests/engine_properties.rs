@@ -2,30 +2,29 @@
 //! seed, must stay within its address space, be deterministic, and emit
 //! jobs in the calibrated shape envelope.
 
-use proptest::prelude::*;
-
 use astriflash_sim::SimRng;
+use astriflash_testkit::prop_check;
 use astriflash_workloads::{WorkloadKind, WorkloadParams};
 
 fn all_kinds() -> [WorkloadKind; 7] {
     WorkloadKind::all()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// All engines stay inside the dataset for arbitrary seeds.
-    #[test]
-    fn accesses_stay_in_dataset(engine_seed in 0u64..1_000, job_seed in 0u64..1_000) {
+/// All engines stay inside the dataset for arbitrary seeds.
+#[test]
+fn accesses_stay_in_dataset() {
+    prop_check!(cases: 12, |g| {
+        let engine_seed = g.u64_in(0..1_000);
+        let job_seed = g.u64_in(0..1_000);
         let params = WorkloadParams::tiny_for_tests();
         for kind in all_kinds() {
             let mut engine = kind.build(&params, engine_seed);
             let mut rng = SimRng::new(job_seed);
             for _ in 0..20 {
                 let job = engine.next_job(&mut rng);
-                prop_assert!(!job.ops.is_empty(), "{kind}: empty job");
+                assert!(!job.ops.is_empty(), "{kind}: empty job");
                 for a in job.accesses() {
-                    prop_assert!(
+                    assert!(
                         a.addr < params.dataset_bytes,
                         "{kind}: access {:#x} outside dataset",
                         a.addr
@@ -33,11 +32,15 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// Same (engine seed, job seed) ⇒ identical job streams.
-    #[test]
-    fn engines_are_deterministic(engine_seed in 0u64..1_000, job_seed in 0u64..1_000) {
+/// Same (engine seed, job seed) ⇒ identical job streams.
+#[test]
+fn engines_are_deterministic() {
+    prop_check!(cases: 12, |g| {
+        let engine_seed = g.u64_in(0..1_000);
+        let job_seed = g.u64_in(0..1_000);
         let params = WorkloadParams::tiny_for_tests();
         for kind in all_kinds() {
             let mut e1 = kind.build(&params, engine_seed);
@@ -45,33 +48,36 @@ proptest! {
             let mut r1 = SimRng::new(job_seed);
             let mut r2 = SimRng::new(job_seed);
             for _ in 0..8 {
-                prop_assert_eq!(e1.next_job(&mut r1), e2.next_job(&mut r2), "{}", kind);
+                assert_eq!(e1.next_job(&mut r1), e2.next_job(&mut r2), "{kind}");
             }
         }
-    }
+    });
+}
 
-    /// Jobs carry both compute and memory work, with bounded size: the
-    /// envelope the core model was calibrated for.
-    #[test]
-    fn job_shape_envelope(job_seed in 0u64..500) {
+/// Jobs carry both compute and memory work, with bounded size: the
+/// envelope the core model was calibrated for.
+#[test]
+fn job_shape_envelope() {
+    prop_check!(cases: 12, |g| {
+        let job_seed = g.u64_in(0..500);
         let params = WorkloadParams::tiny_for_tests();
         for kind in all_kinds() {
             let mut engine = kind.build(&params, 17);
             let mut rng = SimRng::new(job_seed);
             for _ in 0..10 {
                 let job = engine.next_job(&mut rng);
-                prop_assert!(job.total_compute_ns() > 0, "{kind}: free job");
-                prop_assert!(
+                assert!(job.total_compute_ns() > 0, "{kind}: free job");
+                assert!(
                     job.total_compute_ns() < 1_000_000,
                     "{kind}: job compute over 1 ms"
                 );
-                prop_assert!(job.total_accesses() >= 1);
-                prop_assert!(
+                assert!(job.total_accesses() >= 1);
+                assert!(
                     job.total_accesses() <= 512,
                     "{kind}: {} accesses in one job",
                     job.total_accesses()
                 );
             }
         }
-    }
+    });
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, tests (including the release-only full-scale
+# goldens), and lints. No network access required — the workspace has
+# no registry dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test (debug, whole workspace)"
+cargo test -q --workspace
+
+echo "==> cargo test --release (full-scale goldens included)"
+cargo test -q --release --workspace
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -1,7 +1,5 @@
 //! Property-based tests over the core data structures and invariants,
-//! spanning crates (proptest).
-
-use proptest::prelude::*;
+//! spanning crates (astriflash-testkit).
 
 use astriflash::mem::{PageLru, SramCache};
 use astriflash::sim::{EventQueue, SimRng, SimTime};
@@ -10,34 +8,35 @@ use astriflash::stats::Histogram;
 use astriflash::workloads::engines::btree_index::BPlusTree;
 use astriflash::workloads::engines::rb_tree::RbArena;
 use astriflash::workloads::ZipfGenerator;
+use astriflash_testkit::prop_check;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The histogram's quantiles stay within one bucket width (<1.6 %)
-    /// of the exact nearest-rank percentile.
-    #[test]
-    fn histogram_matches_exact_oracle(
-        mut values in prop::collection::vec(1u64..1_000_000, 10..500),
-        q in 0.01f64..0.999,
-    ) {
+/// The histogram's quantiles stay within one bucket width (<1.6 %) of
+/// the exact nearest-rank percentile.
+#[test]
+fn histogram_matches_exact_oracle() {
+    prop_check!(cases: 64, |g| {
+        let mut values = g.vec(10..500, |g| g.u64_in(1..1_000_000));
+        let q = g.f64_in(0.01..0.999);
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
         }
         let exact = exact_percentile(&mut values, q).unwrap();
         let approx = h.value_at_quantile(q);
-        prop_assert!(approx >= exact, "approx {approx} below exact {exact}");
-        prop_assert!(
+        assert!(approx >= exact, "approx {approx} below exact {exact}");
+        assert!(
             approx as f64 <= exact as f64 * 1.02 + 1.0,
             "approx {approx} too far above exact {exact}"
         );
-    }
+    });
+}
 
-    /// Event queues pop in nondecreasing time order regardless of the
-    /// schedule order, and FIFO within equal timestamps.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..10_000, 1..300)) {
+/// Event queues pop in nondecreasing time order regardless of the
+/// schedule order, and FIFO within equal timestamps.
+#[test]
+fn event_queue_total_order() {
+    prop_check!(cases: 64, |g| {
+        let times = g.vec(1..300, |g| g.u64_in(0..10_000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_ns(t), i);
@@ -45,45 +44,51 @@ proptest! {
         let mut last_time = SimTime::ZERO;
         let mut seen_at_time: Vec<usize> = Vec::new();
         while let Some((t, idx)) = q.pop() {
-            prop_assert!(t >= last_time);
+            assert!(t >= last_time);
             if t > last_time {
                 seen_at_time.clear();
             }
             // FIFO among equal timestamps: indices ascend.
             if let Some(&prev) = seen_at_time.last() {
                 if times[prev] == times[idx] {
-                    prop_assert!(idx > prev);
+                    assert!(idx > prev);
                 }
             }
             seen_at_time.push(idx);
             last_time = t;
         }
-    }
+    });
+}
 
-    /// The red-black tree holds its invariants and finds every inserted
-    /// key under arbitrary insertion orders.
-    #[test]
-    fn rb_tree_invariants(keys in prop::collection::hash_set(0u64..10_000, 1..400)) {
+/// The red-black tree holds its invariants and finds every inserted key
+/// under arbitrary insertion orders.
+#[test]
+fn rb_tree_invariants() {
+    prop_check!(cases: 64, |g| {
+        let keys = g.hash_set_u64(0..10_000, 1..400);
         let mut arena = RbArena::new();
         for &k in &keys {
-            prop_assert!(arena.insert(k, k * 64, k * 1024));
+            assert!(arena.insert(k, k * 64, k * 1024));
         }
         arena.validate();
-        prop_assert_eq!(arena.len(), keys.len());
+        assert_eq!(arena.len(), keys.len());
         let mut trace = Vec::new();
         for &k in &keys {
             trace.clear();
-            prop_assert_eq!(arena.lookup_trace(k, &mut trace), Some(k * 1024));
+            assert_eq!(arena.lookup_trace(k, &mut trace), Some(k * 1024));
         }
         // Height bound: 2*log2(n+1).
         let bound = 2.0 * ((keys.len() + 1) as f64).log2();
-        prop_assert!(arena.height() as f64 <= bound + 1.0);
-    }
+        assert!(arena.height() as f64 <= bound + 1.0);
+    });
+}
 
-    /// The B+-tree keeps its structural invariants and its leaf chain
-    /// covers exactly the inserted keys, in order.
-    #[test]
-    fn btree_invariants(keys in prop::collection::hash_set(0u64..100_000, 1..400)) {
+/// The B+-tree keeps its structural invariants and its leaf chain covers
+/// exactly the inserted keys, in order.
+#[test]
+fn btree_invariants() {
+    prop_check!(cases: 64, |g| {
+        let keys = g.hash_set_u64(0..100_000, 1..400);
         let mut next = 0x1000u64;
         let mut alloc = move |_| {
             next += 256;
@@ -93,22 +98,23 @@ proptest! {
         for &k in &keys {
             tree.insert(k, k + 7, &mut alloc);
         }
-        prop_assert_eq!(tree.validate(), keys.len());
+        assert_eq!(tree.validate(), keys.len());
         let mut trace = Vec::new();
         for &k in &keys {
             trace.clear();
-            prop_assert_eq!(tree.lookup_trace(k, &mut trace), Some(k + 7));
-            prop_assert_eq!(trace.len(), tree.height());
+            assert_eq!(tree.lookup_trace(k, &mut trace), Some(k + 7));
+            assert_eq!(trace.len(), tree.height());
         }
-    }
+    });
+}
 
-    /// The O(1) page LRU agrees with a naive reference model on
-    /// arbitrary access streams.
-    #[test]
-    fn page_lru_matches_reference(
-        accesses in prop::collection::vec(0u64..64, 1..2_000),
-        capacity in 1usize..32,
-    ) {
+/// The O(1) page LRU agrees with a naive reference model on arbitrary
+/// access streams.
+#[test]
+fn page_lru_matches_reference() {
+    prop_check!(cases: 64, |g| {
+        let accesses = g.vec(1..2_000, |g| g.u64_in(0..64));
+        let capacity = g.usize_in(1..32);
         let mut fast = PageLru::new(capacity);
         let mut naive: Vec<u64> = Vec::new();
         for &page in &accesses {
@@ -122,37 +128,44 @@ proptest! {
                 naive.truncate(capacity);
                 false
             };
-            prop_assert_eq!(fast_hit, naive_hit);
+            assert_eq!(fast_hit, naive_hit);
         }
-        prop_assert_eq!(fast.len(), naive.len());
-    }
+        assert_eq!(fast.len(), naive.len());
+    });
+}
 
-    /// SRAM cache: after an access the block is resident; invalidation
-    /// removes exactly that block.
-    #[test]
-    fn sram_cache_residency(addrs in prop::collection::vec(0u64..1_000_000, 1..300)) {
+/// SRAM cache: after an access the block is resident; invalidation
+/// removes exactly that block.
+#[test]
+fn sram_cache_residency() {
+    prop_check!(cases: 64, |g| {
+        let addrs = g.vec(1..300, |g| g.u64_in(0..1_000_000));
         let mut cache = SramCache::new(64 * 1024, 8);
         for &a in &addrs {
             cache.access(a, false);
-            prop_assert!(cache.contains(a), "block lost right after access");
+            assert!(cache.contains(a), "block lost right after access");
         }
         let victim = addrs[0];
         if cache.contains(victim) {
             cache.invalidate(victim);
-            prop_assert!(!cache.contains(victim));
+            assert!(!cache.contains(victim));
         }
-    }
+    });
+}
 
-    /// Zipf draws are in-domain and the empirical CDF is monotone in
-    /// rank-prefix probability.
-    #[test]
-    fn zipf_domain_and_skew(n in 10u64..10_000, theta in 0.0f64..0.99) {
+/// Zipf draws are in-domain and the empirical CDF is monotone in
+/// rank-prefix probability.
+#[test]
+fn zipf_domain_and_skew() {
+    prop_check!(cases: 64, |g| {
+        let n = g.u64_in(10..10_000);
+        let theta = g.f64_in(0.0..0.99);
         let zipf = ZipfGenerator::new(n, theta);
         let mut rng = SimRng::new(n ^ 0x5EED);
         let mut below_half = 0u32;
         for _ in 0..500 {
             let r = zipf.sample(&mut rng);
-            prop_assert!(r < n);
+            assert!(r < n);
             if r < n / 2 {
                 below_half += 1;
             }
@@ -160,18 +173,22 @@ proptest! {
         if n >= 100 {
             // At least ~half of draws land in the lower half of ranks
             // for any skew >= 0 (uniform gives exactly half).
-            prop_assert!(below_half >= 180);
+            assert!(below_half >= 180);
         }
-    }
+    });
+}
 
-    /// Deterministic RNG forks never panic and stay decorrelated enough
-    /// to produce differing streams.
-    #[test]
-    fn rng_forks_differ(seed in any::<u64>(), stream in 1u64..1000) {
+/// Deterministic RNG forks never panic and stay decorrelated enough to
+/// produce differing streams.
+#[test]
+fn rng_forks_differ() {
+    prop_check!(cases: 64, |g| {
+        let seed = g.any_u64();
+        let stream = g.u64_in(1..1000);
         let parent = SimRng::new(seed);
         let mut a = parent.fork(0);
         let mut b = parent.fork(stream);
         let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
-        prop_assert!(same < 4);
-    }
+        assert!(same < 4);
+    });
 }
