@@ -1,0 +1,73 @@
+//! Runs one AstriFlash cell with the observability layer enabled and
+//! writes two artifacts under `results/`:
+//!
+//! * `results/trace_run.json` — Chrome/Perfetto `trace_event` JSON
+//!   (open at <https://ui.perfetto.dev> or `chrome://tracing`), with
+//!   every DRAM-cache miss as an async span threading core → BC →
+//!   flash channel → scheduler, plus counter tracks for the gauges.
+//! * `results/trace_run_gauges.csv` — the sampled gauges in long form
+//!   (`t_ns,gauge,lane,value`) for re-plotting.
+//!
+//! ```text
+//! cargo run --release -p astriflash-bench --bin trace_run -- --quick
+//! ```
+//!
+//! The run's report is bit-identical to the same untraced cell, and the
+//! trace itself is byte-identical across repeated same-seed runs. The
+//! JSON is self-validated before the process exits 0.
+
+use std::process::ExitCode;
+
+use astriflash_bench::HarnessOpts;
+use astriflash_core::config::Configuration;
+use astriflash_core::sweep::Cell;
+use astriflash_trace::{export, json, EventKind, Tracer};
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_args();
+    let cell = Cell::closed(
+        opts.system_config(),
+        Configuration::AstriFlash,
+        opts.seed,
+        opts.jobs_per_core(),
+    );
+    let tracer = Tracer::ring(1 << 20);
+    let report = cell.run_traced(tracer.clone());
+    let dropped = tracer.dropped();
+    let events = tracer.finish();
+
+    let spans = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SpanBegin))
+        .count();
+    let gauges = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Gauge { .. }))
+        .count();
+
+    let perfetto = export::perfetto_json(&events);
+    if let Err(e) = json::validate(&perfetto) {
+        eprintln!("error: generated trace JSON failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/trace_run.json", &perfetto))
+    {
+        eprintln!("error: writing results/trace_run.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    let csv = export::gauges_csv(&events);
+    if let Err(e) = csv.write_to("results/trace_run_gauges.csv") {
+        eprintln!("error: writing results/trace_run_gauges.csv: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("{}", report.render());
+    println!(
+        "trace: {} events ({spans} miss spans, {gauges} gauge samples, {dropped} dropped)",
+        events.len()
+    );
+    println!("wrote results/trace_run.json ({} bytes)", perfetto.len());
+    println!("wrote results/trace_run_gauges.csv ({} rows)", csv.num_rows());
+    ExitCode::SUCCESS
+}

@@ -2,6 +2,7 @@
 //! result into a [`RunReport`].
 
 use astriflash_stats::{Histogram, MetricSet, Percentile};
+use astriflash_trace::Tracer;
 
 use crate::config::{Configuration, SystemConfig};
 use crate::system::{SystemSim, SystemStats};
@@ -45,6 +46,7 @@ pub struct Experiment {
     configuration: Configuration,
     seed: u64,
     mode: Load,
+    tracer: Tracer,
 }
 
 impl Experiment {
@@ -56,7 +58,15 @@ impl Experiment {
             configuration,
             seed: 1,
             mode: Load::Closed { jobs_per_core: 200 },
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Attaches an observability tracer (see [`astriflash_trace`]). The
+    /// run's [`RunReport`] is bit-identical with tracing on or off.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Sets the deterministic seed.
@@ -93,7 +103,10 @@ impl Experiment {
     pub fn run(self) -> RunReport {
         let cores = self.cfg.cores;
         let workload = self.cfg.workload;
-        let sim = SystemSim::new(self.cfg, self.configuration, self.seed);
+        let mut sim = SystemSim::new(self.cfg, self.configuration, self.seed);
+        if self.tracer.enabled() {
+            sim.set_tracer(self.tracer);
+        }
         let stats = match self.mode {
             Load::Closed { jobs_per_core } => sim.run_closed_loop(jobs_per_core),
             Load::Open {

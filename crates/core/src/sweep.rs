@@ -30,6 +30,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use astriflash_sim::rng::derive_seed;
+use astriflash_trace::Tracer;
 
 use crate::config::{Configuration, SystemConfig};
 use crate::experiment::{Experiment, Load, RunReport};
@@ -97,16 +98,28 @@ impl Cell {
             .load(self.load)
             .run()
     }
+
+    /// Runs this cell with an observability tracer attached. The report
+    /// is bit-identical to [`Cell::run`]; only the tracer fills up.
+    pub fn run_traced(&self, tracer: Tracer) -> RunReport {
+        Experiment::new(self.cfg.clone(), self.configuration)
+            .seed(self.seed)
+            .load(self.load)
+            .tracer(tracer)
+            .run()
+    }
 }
 
 /// Reads the worker-count override from `ASTRIFLASH_THREADS`; falls
 /// back to the machine's available parallelism.
 pub fn threads_from_env() -> usize {
     if let Ok(v) = std::env::var("ASTRIFLASH_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!(
+                "warning: ignoring ASTRIFLASH_THREADS={v:?} (expected an integer >= 1); \
+                 falling back to available parallelism"
+            ),
         }
     }
     std::thread::available_parallelism()
@@ -145,6 +158,20 @@ impl Sweep {
     /// Runs every cell and returns reports **in cell order**.
     pub fn run(&self, cells: &[Cell]) -> Vec<RunReport> {
         self.map(cells, |_, cell| cell.run())
+    }
+
+    /// Like [`Sweep::run`], but attaches `tracer` to **cell 0 only**:
+    /// figure harnesses can opt into a trace of their first cell without
+    /// perturbing any cell's report (traced and untraced runs produce
+    /// bit-identical reports).
+    pub fn run_with_cell0_trace(&self, cells: &[Cell], tracer: Tracer) -> Vec<RunReport> {
+        self.map(cells, |i, cell| {
+            if i == 0 {
+                cell.run_traced(tracer.clone())
+            } else {
+                cell.run()
+            }
+        })
     }
 
     /// Deterministic parallel map: applies `f(index, &item)` to every

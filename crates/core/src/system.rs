@@ -33,6 +33,7 @@ use astriflash_os::tlb::TlbResult;
 use astriflash_os::{PageTableWalker, Tlb};
 use astriflash_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use astriflash_stats::{Histogram, OnlineStats};
+use astriflash_trace::{Track, Tracer};
 use astriflash_uthread::{Completion, MissPark, NotificationQueue, Pick, Policy, Scheduler};
 use astriflash_workloads::{JobSpec, PoissonArrivals, WorkloadEngine, PAGE_SIZE};
 
@@ -42,6 +43,9 @@ use crate::config::{Configuration, SystemConfig};
 const SLICE_NS: u64 = 4_000;
 /// Retry delay when the MSR rejects an admission (set full).
 const MSR_RETRY_NS: u64 = 2_000;
+/// Gauge sampling period when tracing is enabled. Sample events only
+/// read component state, so they never perturb the simulated outcome.
+const GAUGE_INTERVAL_NS: u64 = 10_000;
 
 #[derive(Debug)]
 enum Event {
@@ -51,6 +55,8 @@ enum Event {
     PageArrived { page: u64 },
     /// Open-loop job arrival for a core.
     Arrival { core: usize },
+    /// Periodic observability gauge sample (tracing runs only).
+    Sample,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +83,8 @@ struct Thread {
     parked_at: SimTime,
     /// Forward-progress bit: the next miss must complete synchronously.
     forced: bool,
+    /// Open trace span for the in-flight miss (0 = none).
+    miss_span: u64,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -206,6 +214,21 @@ pub struct SystemSim {
     inflight_footprints: HashMap<u64, u64>,
     stopped: bool,
     max_time: SimTime,
+    tracer: Tracer,
+    /// Trace span of the thread that *issued* each in-flight flash read
+    /// (page → span id); completions re-attribute to it.
+    inflight_spans: HashMap<u64, u64>,
+    /// Previous gauge-sample window state (hits, misses, per-core busy,
+    /// sample time) for windowed rates.
+    gauge_prev: GaugeWindow,
+}
+
+#[derive(Debug, Default)]
+struct GaugeWindow {
+    dc_hits: u64,
+    dc_misses: u64,
+    busy_ns: Vec<u64>,
+    at: SimTime,
 }
 
 impl SystemSim {
@@ -318,7 +341,23 @@ impl SystemSim {
             inflight_footprints: HashMap::new(),
             stopped: false,
             max_time,
+            tracer: Tracer::off(),
+            inflight_spans: HashMap::new(),
+            gauge_prev: GaugeWindow::default(),
         }
+    }
+
+    /// Installs the observability handle and propagates it to every
+    /// component (BC, flash, per-core schedulers). Enabling tracing
+    /// never changes the simulated outcome: all emissions are stamped
+    /// with sim time and gauge samples only read component state.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.bc.set_tracer(tracer.clone());
+        self.flash.set_tracer(tracer.clone());
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.scheduler.set_tracer(tracer.clone(), i as u32);
+        }
+        self.tracer = tracer;
     }
 
     /// The configuration being simulated.
@@ -345,6 +384,7 @@ impl SystemSim {
         for core in 0..self.cfg.cores {
             self.schedule_resume(core, SimTime::ZERO);
         }
+        self.start_sampling();
         self.event_loop();
         self.finish()
     }
@@ -360,11 +400,36 @@ impl SystemSim {
         self.arrivals = Some(arrivals);
         let core = self.next_arrival_core;
         self.queue.schedule(first, Event::Arrival { core });
+        self.start_sampling();
         self.event_loop();
         self.finish()
     }
 
-    fn finish(self) -> SystemStats {
+    /// Schedules the first gauge sample. No-op when tracing is off, so
+    /// untraced runs see an identical event stream.
+    fn start_sampling(&mut self) {
+        if self.tracer.enabled() {
+            self.gauge_prev.busy_ns = vec![0; self.cores.len()];
+            let first = SimTime::ZERO + SimDuration::from_ns(GAUGE_INTERVAL_NS);
+            if first <= self.max_time {
+                self.queue.schedule(first, Event::Sample);
+            }
+        }
+    }
+
+    fn finish(mut self) -> SystemStats {
+        // Close any spans still open at end-of-run (threads parked or
+        // blocked when the job target / time cap hit) so every trace is
+        // well-formed.
+        if self.tracer.enabled() {
+            let t = self.queue.now().as_ns();
+            for (ci, core) in self.cores.iter_mut().enumerate() {
+                for th in core.threads.iter_mut().flatten() {
+                    let span = std::mem::take(&mut th.miss_span);
+                    self.tracer.end_span(t, Track::Core(ci as u32), "miss", span);
+                }
+            }
+        }
         let mut stats = SystemStats {
             measured_jobs: self.measured_jobs,
             total_jobs: self.total_jobs,
@@ -422,6 +487,7 @@ impl SystemSim {
                 }
                 Event::PageArrived { page } => self.on_page_arrived(page),
                 Event::Arrival { core } => self.on_arrival(core),
+                Event::Sample => self.on_sample(),
             }
         }
     }
@@ -451,9 +517,63 @@ impl SystemSim {
         }
     }
 
+    /// Emits the periodic component gauges (MSR occupancy, per-channel
+    /// flash backlog, windowed DRAM-cache hit rate, per-core run-queue
+    /// length and utilization) and reschedules itself.
+    fn on_sample(&mut self) {
+        let now = self.queue.now();
+        let t = now.as_ns();
+        self.tracer
+            .gauge(t, "msr_occupancy", 0, self.bc.outstanding() as f64);
+        for (i, backlog) in self.flash.channel_backlogs_ns(now).iter().enumerate() {
+            self.tracer
+                .gauge(t, "flash_chan_backlog_ns", i as u32, *backlog as f64);
+        }
+        let (hits, misses) = (self.dram_cache.hits(), self.dram_cache.misses());
+        let dh = hits - self.gauge_prev.dc_hits;
+        let dm = misses - self.gauge_prev.dc_misses;
+        if dh + dm > 0 {
+            self.tracer
+                .gauge(t, "dcache_hit_rate", 0, dh as f64 / (dh + dm) as f64);
+        }
+        let interval = now.saturating_since(self.gauge_prev.at).as_ns();
+        for (i, core) in self.cores.iter().enumerate() {
+            self.tracer
+                .gauge(t, "runq_len", i as u32, core.scheduler.pending_len() as f64);
+            if interval > 0 {
+                let delta = core.stats.busy_ns - self.gauge_prev.busy_ns[i];
+                self.tracer.gauge(
+                    t,
+                    "core_util",
+                    i as u32,
+                    (delta as f64 / interval as f64).min(1.0),
+                );
+            }
+        }
+        self.tracer.gauge(t, "jobs_done", 0, self.total_jobs as f64);
+        self.gauge_prev.dc_hits = hits;
+        self.gauge_prev.dc_misses = misses;
+        for (i, core) in self.cores.iter().enumerate() {
+            self.gauge_prev.busy_ns[i] = core.stats.busy_ns;
+        }
+        self.gauge_prev.at = now;
+        let next = now + SimDuration::from_ns(GAUGE_INTERVAL_NS);
+        if !self.stopped && next <= self.max_time {
+            self.queue.schedule(next, Event::Sample);
+        }
+    }
+
     fn on_page_arrived(&mut self, page: u64) {
         let now = self.queue.now();
         let bitmap = self.inflight_footprints.remove(&page).unwrap_or(u64::MAX);
+        if self.tracer.enabled() {
+            // Re-attribute the install (and any writeback) to the span
+            // of the thread that issued this flash read.
+            match self.inflight_spans.remove(&page) {
+                Some(span) => self.tracer.resume_span(span),
+                None => self.tracer.clear_span(),
+            }
+        }
         let (completion, dirty_victim) =
             self.bc
                 .complete_with_footprint(now, page, bitmap, &mut self.dram_cache);
@@ -469,6 +589,15 @@ impl SystemSim {
             let Some(t) = self.cores[core].threads[thread].as_mut() else {
                 continue;
             };
+            if self.tracer.enabled() && t.miss_span != 0 {
+                self.tracer.resume_span(t.miss_span);
+                self.tracer.span_instant(
+                    installed.as_ns(),
+                    Track::Core(w.core),
+                    "page_arrived",
+                    page,
+                );
+            }
             match t.state {
                 ThreadState::Parked => {
                     // Post the completion on the core's queue pair; the
@@ -486,6 +615,9 @@ impl SystemSim {
                 ThreadState::BlockedOnPage(p) if p == page => {
                     let since = t.parked_at;
                     t.state = ThreadState::Running;
+                    let span = std::mem::take(&mut t.miss_span);
+                    self.tracer
+                        .end_span(installed.as_ns(), Track::Core(w.core), "miss", span);
                     debug_assert_eq!(self.cores[core].running, Some(thread));
                     self.cores[core].stats.blocked_ns +=
                         installed.saturating_since(since).as_ns();
@@ -494,6 +626,7 @@ impl SystemSim {
                 _ => {}
             }
         }
+        self.tracer.clear_span();
     }
 
     /// Picks the next thread for an idle core and starts executing.
@@ -537,6 +670,7 @@ impl SystemSim {
                     compute_done: false,
                     parked_at: SimTime::ZERO,
                     forced: false,
+                    miss_span: 0,
                 });
                 core.running = Some(slot);
                 true
@@ -547,6 +681,18 @@ impl SystemSim {
                     .as_mut()
                     .expect("pending thread exists");
                 t.state = ThreadState::Running;
+                let span = std::mem::take(&mut t.miss_span);
+                if span != 0 {
+                    self.tracer.resume_span(span);
+                    self.tracer.span_instant(
+                        now.as_ns(),
+                        Track::Core(core_id as u32),
+                        "resume",
+                        thread as u64,
+                    );
+                    self.tracer
+                        .end_span(now.as_ns(), Track::Core(core_id as u32), "miss", span);
+                }
                 let park_delay = now.saturating_since(t.parked_at).as_ns();
                 self.park_ns.record(park_delay);
                 // Forward progress: a rescheduled pending thread must
@@ -775,6 +921,15 @@ impl SystemSim {
             ProbeOutcome::Hit { done_at } => {
                 let lat = done_at.saturating_since(t).as_ns();
                 let t = t + SimDuration::from_ns(timing.effective_stall_ns(lat));
+                if self.tracer.enabled() {
+                    // An MSR-stalled retry can hit if another thread's
+                    // fetch installed the page meanwhile: close its span.
+                    if let Some(th) = self.cores[core_id].threads[slot].as_mut() {
+                        let span = std::mem::take(&mut th.miss_span);
+                        self.tracer
+                            .end_span(t.as_ns(), Track::Core(core_id as u32), "miss", span);
+                    }
+                }
                 self.clear_forced(core_id, slot);
                 AccessResult::Done(t)
             }
@@ -798,6 +953,27 @@ impl SystemSim {
         is_write: bool,
         t: SimTime,
     ) -> AccessResult {
+        // Open (or re-enter after an MSR-stall retry) this miss's trace
+        // span; BC and flash emissions below attribute to it.
+        let miss_span = if self.tracer.enabled() {
+            let th = self.cores[core_id].threads[slot]
+                .as_mut()
+                .expect("running thread");
+            if th.miss_span == 0 {
+                th.miss_span = self.tracer.begin_span(
+                    t.as_ns(),
+                    Track::Core(core_id as u32),
+                    "miss",
+                    page,
+                );
+            } else {
+                self.tracer.resume_span(th.miss_span);
+            }
+            th.miss_span
+        } else {
+            0
+        };
+
         // Admit to the backside controller (dedup via MSR, flash read).
         let waiter = Waiter {
             core: core_id as u32,
@@ -811,12 +987,21 @@ impl SystemSim {
                 let bytes = bitmap.count_ones() as u64 * 64;
                 let done = self.flash.read_bytes(issue_at, page, bytes);
                 self.inflight_footprints.insert(page, bitmap);
+                if miss_span != 0 {
+                    self.inflight_spans.insert(page, miss_span);
+                }
                 self.flash_read_ns
                     .record(done.saturating_since(issue_at).as_ns());
                 self.queue.schedule(done, Event::PageArrived { page });
             }
             BcAdmission::Stalled => {
                 // MSR set full: FC stalls this request and retries.
+                self.tracer.span_instant(
+                    t.as_ns(),
+                    Track::Core(core_id as u32),
+                    "msr_retry",
+                    page,
+                );
                 let retry = t + SimDuration::from_ns(MSR_RETRY_NS);
                 let core = &mut self.cores[core_id];
                 core.resume_pending = true;
@@ -859,6 +1044,12 @@ impl SystemSim {
                     core.stats.switch_overhead_ns += overhead;
                 }
                 let t = t + SimDuration::from_ns(overhead);
+                self.tracer.span_instant(
+                    t.as_ns(),
+                    Track::Core(core_id as u32),
+                    "switch_out",
+                    overhead,
+                );
                 self.park_or_block(core_id, slot, page, t)
             }
             Configuration::OsSwap => {
@@ -928,6 +1119,8 @@ impl SystemSim {
         page: u64,
         t: SimTime,
     ) -> AccessResult {
+        self.tracer
+            .span_instant(t.as_ns(), Track::Core(core_id as u32), "block", page);
         let core = &mut self.cores[core_id];
         let th = core.threads[slot].as_mut().expect("running");
         th.state = ThreadState::BlockedOnPage(page);
@@ -970,6 +1163,10 @@ impl SystemSim {
                             ProbeOutcome::Miss { tag_check_done_at }
                             | ProbeOutcome::SubMiss { tag_check_done_at } => {
                                 self.cores[core_id].stats.pt_walk_flash_reads += 1;
+                                // Walk misses have no thread-level miss
+                                // span; don't attribute BC/flash work to
+                                // a stale one.
+                                self.tracer.clear_span();
                                 let waiter = Waiter {
                                     core: core_id as u32,
                                     thread: slot as u32,
@@ -1056,6 +1253,26 @@ mod tests {
         assert_eq!(a.measured_jobs, b.measured_jobs);
         assert_eq!(a.dram_cache_misses, b.dram_cache_misses);
         assert_eq!(a.service_ns.mean(), b.service_ns.mean());
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_run() {
+        let plain = quick(Configuration::AstriFlash);
+        let config = SystemConfig::default().with_cores(2).scaled_for_tests();
+        let tracer = Tracer::ring(1 << 16);
+        let mut sim = SystemSim::new(config, Configuration::AstriFlash, 7);
+        sim.set_tracer(tracer.clone());
+        let traced = sim.run_closed_loop(40);
+        assert_eq!(plain.measured_jobs, traced.measured_jobs);
+        assert_eq!(plain.ended_at, traced.ended_at);
+        assert_eq!(
+            plain.service_ns.mean().to_bits(),
+            traced.service_ns.mean().to_bits()
+        );
+        let evs = tracer.finish();
+        assert!(evs.iter().any(|e| e.name == "miss"));
+        assert!(evs.iter().any(|e| e.name == "msr_occupancy"));
+        assert!(evs.iter().any(|e| e.name == "core_util"));
     }
 
     #[test]

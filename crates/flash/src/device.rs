@@ -2,6 +2,7 @@
 
 use astriflash_sim::{BandwidthLink, SimDuration, SimRng, SimTime};
 use astriflash_stats::Histogram;
+use astriflash_trace::{Track, Tracer};
 
 use crate::config::FlashConfig;
 use crate::ftl::Ftl;
@@ -45,6 +46,7 @@ pub struct FlashDevice {
     stats: FlashStats,
     read_latency_hist: Histogram,
     rng: SimRng,
+    tracer: Tracer,
 }
 
 impl FlashDevice {
@@ -66,7 +68,15 @@ impl FlashDevice {
             stats: FlashStats::default(),
             read_latency_hist: Histogram::new(),
             rng: SimRng::new(seed ^ 0xF1A5_11DE),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Installs the observability handle. Reads emit queue/array/transfer
+    /// slices on their channel's [`Track::FlashChannel`], attributed to
+    /// the composer's current miss span.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn channel_of(&self, plane: usize) -> usize {
@@ -106,7 +116,37 @@ impl FlashDevice {
         let done = transfer_done + SimDuration::from_ns(self.cfg.controller_overhead_ns);
         self.read_latency_hist
             .record(done.saturating_since(now).as_ns());
+        if self.tracer.enabled() {
+            let track = Track::FlashChannel(channel_idx as u32);
+            let array_start = array_done - t_r;
+            let queue_wait = array_start.saturating_since(now).as_ns();
+            self.tracer
+                .span_instant(now.as_ns(), track, "flash_issue", logical_page);
+            if queue_wait > 0 {
+                self.tracer
+                    .slice(now.as_ns(), queue_wait, track, "flash_queue", logical_page);
+            }
+            self.tracer
+                .slice(array_start.as_ns(), t_r.as_ns(), track, "flash_read", logical_page);
+            self.tracer.slice(
+                array_done.as_ns(),
+                transfer_done.saturating_since(array_done).as_ns(),
+                track,
+                "flash_xfer",
+                bytes,
+            );
+        }
         done
+    }
+
+    /// Per-channel backlog at `now`: how far in the future each channel
+    /// link is already committed, in nanoseconds (the queue-depth gauge
+    /// the composer samples periodically).
+    pub fn channel_backlogs_ns(&self, now: SimTime) -> Vec<u64> {
+        self.channels
+            .iter()
+            .map(|c| c.busy_until().saturating_since(now).as_ns())
+            .collect()
     }
 
     /// Writes (programs) a logical page out-of-place; returns the program
@@ -132,6 +172,15 @@ impl FlashDevice {
             if let Some(old) = self.ftl.remap(logical_page, plane_idx, new_loc) {
                 self.planes[plane_idx].invalidate(old);
             }
+        }
+        if self.tracer.enabled() {
+            self.tracer.slice(
+                transfer_done.as_ns(),
+                done.saturating_since(transfer_done).as_ns(),
+                Track::FlashChannel(channel_idx as u32),
+                "flash_write",
+                logical_page,
+            );
         }
         done
     }
@@ -229,6 +278,41 @@ mod tests {
         assert!(b > a, "second read must queue behind the first");
         let c = dev.read(SimTime::ZERO, 1); // different plane
         assert!(c < b, "different plane should not queue");
+    }
+
+    #[test]
+    fn traced_read_emits_channel_slices() {
+        let mut dev = device();
+        let tracer = Tracer::ring(64);
+        dev.set_tracer(tracer.clone());
+        let planes = dev.config().num_planes() as u64;
+        dev.read(SimTime::ZERO, 0);
+        dev.read(SimTime::ZERO, planes); // same plane: must queue
+        let evs = tracer.finish();
+        let names: Vec<&str> = evs.iter().map(|e| e.name).collect();
+        assert!(names.contains(&"flash_issue"));
+        assert!(names.contains(&"flash_read"));
+        assert!(names.contains(&"flash_xfer"));
+        assert!(
+            names.contains(&"flash_queue"),
+            "second read queued behind the first must emit a queue slice"
+        );
+        assert!(evs
+            .iter()
+            .all(|e| matches!(e.track, Track::FlashChannel(_))));
+    }
+
+    #[test]
+    fn channel_backlogs_report_committed_time() {
+        let mut dev = device();
+        assert!(dev
+            .channel_backlogs_ns(SimTime::ZERO)
+            .iter()
+            .all(|&b| b == 0));
+        dev.read(SimTime::ZERO, 0);
+        let backlogs = dev.channel_backlogs_ns(SimTime::ZERO);
+        assert_eq!(backlogs.len(), dev.config().channels);
+        assert!(backlogs.iter().any(|&b| b > 0));
     }
 
     #[test]

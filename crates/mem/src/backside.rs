@@ -8,6 +8,7 @@
 //! (§V-A); we charge those as fixed nanosecond costs.
 
 use astriflash_sim::{SimDuration, SimTime};
+use astriflash_trace::{Track, Tracer};
 
 pub use crate::msr::Waiter;
 use crate::dram_cache::DramCache;
@@ -64,6 +65,7 @@ pub struct BacksideController {
     /// Per-operation processing cost (programmable logic, §V-A).
     processing_ns: u64,
     stats: BcStats,
+    tracer: Tracer,
 }
 
 impl BacksideController {
@@ -74,7 +76,14 @@ impl BacksideController {
             msr: MissStatusRow::new(msr_sets, msr_ways),
             processing_ns,
             stats: BcStats::default(),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// Installs the observability handle. Admissions and completions emit
+    /// on [`Track::Bc`], attributed to the composer's current miss span.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// A BC with the defaults used by the system composer: 64×8 MSR and
@@ -97,7 +106,7 @@ impl BacksideController {
     ) -> BcAdmission {
         // MSR lookup + BC processing.
         let processed = now + SimDuration::from_ns(self.processing_ns * 2);
-        match self.msr.admit(page, waiter) {
+        let admission = match self.msr.admit(page, waiter) {
             MsrAdmission::Duplicate => {
                 self.stats.duplicates += 1;
                 BcAdmission::Duplicate
@@ -113,7 +122,23 @@ impl BacksideController {
                     issue_at: processed + SimDuration::from_ns(self.processing_ns),
                 }
             }
+        };
+        if self.tracer.enabled() {
+            let name = match admission {
+                BcAdmission::Duplicate => "bc_duplicate",
+                BcAdmission::Stalled => "bc_stall",
+                BcAdmission::IssueFlashRead { .. } => "bc_admit",
+            };
+            self.tracer
+                .span_instant(processed.as_ns(), Track::Bc, name, page);
+            self.tracer.gauge(
+                processed.as_ns(),
+                "msr_occupancy",
+                0,
+                self.msr.occupancy() as f64,
+            );
         }
+        admission
     }
 
     /// Called when flash delivers `page`: installs it into the DRAM
@@ -144,6 +169,24 @@ impl BacksideController {
         }
         self.stats.installs += 1;
         let waiters = self.msr.complete(page);
+        if self.tracer.enabled() {
+            self.tracer
+                .span_instant(installed_at.as_ns(), Track::Bc, "bc_install", page);
+            if let Some(victim) = dirty_victim {
+                self.tracer.span_instant(
+                    installed_at.as_ns(),
+                    Track::Bc,
+                    "bc_evict_writeback",
+                    victim,
+                );
+            }
+            self.tracer.gauge(
+                installed_at.as_ns(),
+                "msr_occupancy",
+                0,
+                self.msr.occupancy() as f64,
+            );
+        }
         (
             BcCompletion {
                 installed_at,
@@ -234,6 +277,21 @@ mod tests {
         ));
         assert_eq!(bc.admit(SimTime::ZERO, 3, W, &mut cache), BcAdmission::Stalled);
         assert_eq!(bc.stats().stalls, 1);
+    }
+
+    #[test]
+    fn tracer_sees_admission_install_and_occupancy() {
+        let (mut bc, mut cache) = setup();
+        let tracer = Tracer::ring(64);
+        bc.set_tracer(tracer.clone());
+        bc.admit(SimTime::ZERO, 42, W, &mut cache);
+        bc.admit(SimTime::ZERO, 42, W, &mut cache);
+        bc.complete(SimTime::from_us(50), 42, &mut cache);
+        let names: Vec<&str> = tracer.finish().iter().map(|e| e.name).collect();
+        assert!(names.contains(&"bc_admit"));
+        assert!(names.contains(&"bc_duplicate"));
+        assert!(names.contains(&"bc_install"));
+        assert!(names.contains(&"msr_occupancy"));
     }
 
     #[test]

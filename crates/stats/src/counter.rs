@@ -23,14 +23,15 @@ impl Counter {
         Counter { name, value: 0 }
     }
 
-    /// Increments by one.
+    /// Increments by one. Saturates at `u64::MAX` rather than wrapping:
+    /// a pinned counter is a visible anomaly, a wrapped one is a lie.
     pub fn inc(&mut self) {
-        self.value += 1;
+        self.value = self.value.saturating_add(1);
     }
 
-    /// Adds `n`.
+    /// Adds `n`, saturating at `u64::MAX`.
     pub fn add(&mut self, n: u64) {
-        self.value += n;
+        self.value = self.value.saturating_add(n);
     }
 
     /// Current value.
@@ -64,9 +65,9 @@ impl RateMeter {
         RateMeter::default()
     }
 
-    /// Records `n` events.
+    /// Records `n` events, saturating at `u64::MAX`.
     pub fn record(&mut self, n: u64) {
-        self.events += n;
+        self.events = self.events.saturating_add(n);
     }
 
     /// Total events recorded.
@@ -108,5 +109,49 @@ mod tests {
         assert!((m.rate_per_sec(1_000_000) - 500_000.0).abs() < 1e-6);
         assert_eq!(m.rate_per_sec(0), 0.0);
         assert_eq!(m.events(), 500);
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let mut c = Counter::new("sat");
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        c.add(1000);
+        assert_eq!(c.get(), u64::MAX, "must pin at MAX, not wrap");
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_add_zero_is_identity() {
+        let mut c = Counter::new("z");
+        c.add(0);
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(0);
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn rate_meter_saturates_and_handles_zero_window() {
+        let mut m = RateMeter::new();
+        // Zero-window: no elapsed time must not divide by zero, even
+        // with events recorded.
+        m.record(7);
+        assert_eq!(m.rate_per_sec(0), 0.0);
+        // Saturation: events pin at MAX and the rate stays finite.
+        m.record(u64::MAX);
+        assert_eq!(m.events(), u64::MAX);
+        let r = m.rate_per_sec(1);
+        assert!(r.is_finite() && r > 0.0);
+    }
+
+    #[test]
+    fn rate_meter_empty_is_zero_rate() {
+        let m = RateMeter::new();
+        assert_eq!(m.events(), 0);
+        assert_eq!(m.rate_per_sec(1_000_000_000), 0.0);
     }
 }

@@ -27,6 +27,7 @@ pub mod moments;
 pub mod percentile;
 pub mod summary;
 pub mod table;
+pub mod timeseries;
 
 pub use counter::{Counter, RateMeter};
 pub use csv::CsvDoc;
@@ -35,3 +36,4 @@ pub use moments::OnlineStats;
 pub use percentile::Percentile;
 pub use summary::MetricSet;
 pub use table::TextTable;
+pub use timeseries::{series_to_csv, TimeSeries};

@@ -1,0 +1,133 @@
+//! Sim-time-indexed gauge series.
+//!
+//! Periodic observability samples (MSR occupancy, flash queue depth,
+//! per-core utilization…) are `(t_ns, value)` points. A [`TimeSeries`]
+//! holds one gauge instance; `lane` disambiguates per-core/per-channel
+//! instances of the same gauge name.
+
+use crate::csv::CsvDoc;
+
+/// One gauge instance's samples, in recording order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    lane: u32,
+    points: Vec<(u64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series for gauge `name`, instance `lane`.
+    pub fn new(name: impl Into<String>, lane: u32) -> Self {
+        TimeSeries {
+            name: name.into(),
+            lane,
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, t_ns: u64, value: f64) {
+        self.points.push((t_ns, value));
+    }
+
+    /// Gauge name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instance index (core id, channel id, or 0).
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// The `(t_ns, value)` samples in recording order.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Mean of the sampled values (unweighted).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Maximum sampled value.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max)
+    }
+}
+
+/// Renders series in long form: one `t_ns,gauge,lane,value` row per
+/// sample, series in input order, samples in recording order. The stable
+/// schema the `trace_run` gauge CSV documents.
+pub fn series_to_csv(series: &[TimeSeries]) -> CsvDoc {
+    let mut doc = CsvDoc::new(&["t_ns", "gauge", "lane", "value"]);
+    for s in series {
+        for &(t_ns, value) in s.points() {
+            doc.row_owned(vec![
+                t_ns.to_string(),
+                s.name().to_string(),
+                s.lane().to_string(),
+                format!("{value}"),
+            ]);
+        }
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_inspect() {
+        let mut s = TimeSeries::new("msr_occupancy", 0);
+        assert!(s.is_empty());
+        s.push(10, 1.0);
+        s.push(20, 3.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some((20, 3.0)));
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.max(), 3.0);
+        assert_eq!(s.name(), "msr_occupancy");
+        assert_eq!(s.lane(), 0);
+    }
+
+    #[test]
+    fn csv_long_form_is_stable() {
+        let mut a = TimeSeries::new("runq_len", 1);
+        a.push(5, 2.0);
+        let mut b = TimeSeries::new("core_util", 0);
+        b.push(5, 0.5);
+        let doc = series_to_csv(&[a, b]);
+        assert_eq!(
+            doc.render(),
+            "t_ns,gauge,lane,value\n5,runq_len,1,2\n5,core_util,0,0.5\n"
+        );
+    }
+
+    #[test]
+    fn empty_series_render_header_only() {
+        let doc = series_to_csv(&[TimeSeries::new("x", 0)]);
+        assert_eq!(doc.render(), "t_ns,gauge,lane,value\n");
+        assert_eq!(doc.num_rows(), 0);
+    }
+}

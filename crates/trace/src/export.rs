@@ -1,0 +1,215 @@
+//! Exporters: Chrome/Perfetto `trace_event` JSON and gauge CSV.
+//!
+//! Both outputs are pure functions of the event list, which is itself a
+//! pure function of the simulation inputs — so exported artifacts are
+//! byte-identical across repeated same-seed runs. Timestamps are emitted
+//! with fixed formatting (`ts` in microseconds, three decimals = exact
+//! nanoseconds) to keep the bytes stable.
+
+use astriflash_stats::{series_to_csv, CsvDoc, TimeSeries};
+
+use crate::event::{EventKind, Track, TraceEvent};
+use crate::json::escape;
+
+/// Renders events as a Perfetto-loadable `trace_event` JSON document
+/// (load via <https://ui.perfetto.dev> or `chrome://tracing`).
+///
+/// Lifecycle spans become async events (`ph` `b`/`n`/`e`, `cat` `miss`)
+/// keyed by the span id, so selecting one id shows the whole miss
+/// timeline across core, controller, and flash tracks. Slices become
+/// complete (`X`) events, gauges become counter (`C`) events.
+pub fn perfetto_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, obj: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&obj);
+    };
+
+    // Track-name metadata first, for every track that appears.
+    let mut tracks: Vec<Track> = events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    push(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"astriflash-sim\"}}"
+            .to_string(),
+    );
+    for tr in tracks {
+        push(
+            &mut out,
+            format!(
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                tr.tid(),
+                escape(&tr.label())
+            ),
+        );
+    }
+
+    for ev in events {
+        let ts = format_ts(ev.t_ns);
+        let tid = ev.track.tid();
+        let name = escape(ev.name);
+        let obj = match ev.kind {
+            EventKind::SpanBegin => format!(
+                "{{\"ph\":\"b\",\"cat\":\"miss\",\"id\":\"{}\",\"name\":\"{name}\",\
+                 \"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"arg\":{}}}}}",
+                ev.span, ev.arg
+            ),
+            EventKind::SpanInstant => format!(
+                "{{\"ph\":\"n\",\"cat\":\"miss\",\"id\":\"{}\",\"name\":\"{name}\",\
+                 \"ts\":{ts},\"pid\":1,\"tid\":{tid},\"args\":{{\"arg\":{}}}}}",
+                ev.span, ev.arg
+            ),
+            EventKind::SpanEnd => format!(
+                "{{\"ph\":\"e\",\"cat\":\"miss\",\"id\":\"{}\",\"name\":\"{name}\",\
+                 \"ts\":{ts},\"pid\":1,\"tid\":{tid}}}",
+                ev.span
+            ),
+            EventKind::Slice { dur_ns } => format!(
+                "{{\"ph\":\"X\",\"name\":\"{name}\",\"ts\":{ts},\"dur\":{},\
+                 \"pid\":1,\"tid\":{tid},\"args\":{{\"arg\":{},\"span\":{}}}}}",
+                format_ts(dur_ns),
+                ev.arg,
+                ev.span
+            ),
+            EventKind::Instant => format!(
+                "{{\"ph\":\"i\",\"s\":\"t\",\"name\":\"{name}\",\"ts\":{ts},\
+                 \"pid\":1,\"tid\":{tid},\"args\":{{\"arg\":{}}}}}",
+                ev.arg
+            ),
+            EventKind::Gauge { lane, value } => format!(
+                "{{\"ph\":\"C\",\"name\":\"{name}[{lane}]\",\"ts\":{ts},\
+                 \"pid\":1,\"tid\":{tid},\"args\":{{\"value\":{}}}}}",
+                format_float(value)
+            ),
+        };
+        push(&mut out, obj);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Groups gauge samples into [`TimeSeries`], one per `(name, lane)`, in
+/// first-appearance order.
+pub fn gauge_series(events: &[TraceEvent]) -> Vec<TimeSeries> {
+    let mut series: Vec<TimeSeries> = Vec::new();
+    for ev in events {
+        if let EventKind::Gauge { lane, value } = ev.kind {
+            let slot = series
+                .iter()
+                .position(|s| s.name() == ev.name && s.lane() == lane);
+            let idx = match slot {
+                Some(i) => i,
+                None => {
+                    series.push(TimeSeries::new(ev.name, lane));
+                    series.len() - 1
+                }
+            };
+            series[idx].push(ev.t_ns, value);
+        }
+    }
+    series
+}
+
+/// Renders all gauge samples as a long-form CSV
+/// (`t_ns,gauge,lane,value`).
+pub fn gauges_csv(events: &[TraceEvent]) -> CsvDoc {
+    series_to_csv(&gauge_series(events))
+}
+
+/// `ts` in microseconds with exactly three decimals (= whole
+/// nanoseconds), so formatting is bit-stable.
+fn format_ts(t_ns: u64) -> String {
+    format!("{}.{:03}", t_ns / 1_000, t_ns % 1_000)
+}
+
+/// Gauge values with shortest-roundtrip float formatting (deterministic
+/// in Rust); non-finite values become null-safe strings.
+fn format_float(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::sink::Tracer;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let t = Tracer::ring(64);
+        let span = t.begin_span(1_000, Track::Core(0), "miss", 42);
+        t.span_instant(1_010, Track::Bc, "bc_admit", 42);
+        t.slice(1_020, 50_000, Track::FlashChannel(1), "flash_read", 42);
+        t.gauge(2_000, "msr_occupancy", 0, 3.0);
+        t.gauge(3_000, "msr_occupancy", 0, 5.0);
+        t.gauge(3_000, "runq_len", 2, 1.0);
+        t.end_span(60_000, Track::Core(0), "miss", span);
+        t.finish()
+    }
+
+    #[test]
+    fn perfetto_json_is_valid_and_carries_all_phases() {
+        let json = perfetto_json(&sample_events());
+        validate(&json).expect("exporter must emit parseable JSON");
+        for needle in [
+            "\"ph\":\"b\"",
+            "\"ph\":\"n\"",
+            "\"ph\":\"e\"",
+            "\"ph\":\"X\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"M\"",
+            "\"cat\":\"miss\"",
+            "flash-ch1",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = perfetto_json(&sample_events());
+        let b = perfetto_json(&sample_events());
+        assert_eq!(a, b);
+        assert_eq!(
+            gauges_csv(&sample_events()).render(),
+            gauges_csv(&sample_events()).render()
+        );
+    }
+
+    #[test]
+    fn ts_is_exact_nanoseconds() {
+        assert_eq!(format_ts(0), "0.000");
+        assert_eq!(format_ts(1), "0.001");
+        assert_eq!(format_ts(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn gauge_series_group_by_name_and_lane() {
+        let series = gauge_series(&sample_events());
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].name(), "msr_occupancy");
+        assert_eq!(series[0].len(), 2);
+        assert_eq!(series[1].lane(), 2);
+        let csv = gauges_csv(&sample_events()).render();
+        assert!(csv.starts_with("t_ns,gauge,lane,value\n"));
+        assert!(csv.contains("2000,msr_occupancy,0,3"));
+    }
+
+    #[test]
+    fn empty_event_list_still_exports_valid_json() {
+        let json = perfetto_json(&[]);
+        validate(&json).unwrap();
+        assert!(json.contains("traceEvents"));
+    }
+}

@@ -1,0 +1,225 @@
+//! A minimal JSON syntax checker.
+//!
+//! The CI gate must validate that the emitted Perfetto trace parses
+//! without any network-fetched JSON crate, so we carry a ~100-line
+//! recursive-descent recognizer. It checks syntax only (RFC 8259
+//! grammar); it does not build a DOM.
+
+/// Validates that `s` is exactly one well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn err(pos: usize, what: &str) -> String {
+    format!("{what} at byte {pos}")
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        None => Err(err(pos, "expected a value, found end of input")),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => number(b, pos),
+        Some(c) => Err(err(pos, &format!("unexpected byte {:?}", *c as char))),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Ok(pos + lit.len())
+    } else {
+        Err(err(pos, "malformed literal"))
+    }
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '{'
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(err(pos, "expected object key"));
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(err(pos, "expected ':'"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(err(pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '['
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(err(pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos += 1; // past opening quote
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = b.get(pos + 2..pos + 6).ok_or_else(|| {
+                        err(pos, "truncated \\u escape")
+                    })?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(err(pos, "bad \\u escape"));
+                    }
+                    pos += 6;
+                }
+                _ => return Err(err(pos, "bad escape")),
+            },
+            0x00..=0x1F => return Err(err(pos, "raw control character in string")),
+            _ => pos += 1,
+        }
+    }
+    Err(err(pos, "unterminated string"))
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    match b.get(pos) {
+        Some(b'0') => pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(b.get(pos), Some(b'0'..=b'9')) {
+                pos += 1;
+            }
+        }
+        _ => return Err(err(pos, "expected digit")),
+    }
+    if b.get(pos) == Some(&b'.') {
+        pos += 1;
+        if !matches!(b.get(pos), Some(b'0'..=b'9')) {
+            return Err(err(pos, "expected fraction digit"));
+        }
+        while matches!(b.get(pos), Some(b'0'..=b'9')) {
+            pos += 1;
+        }
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        if !matches!(b.get(pos), Some(b'0'..=b'9')) {
+            return Err(err(pos, "expected exponent digit"));
+        }
+        while matches!(b.get(pos), Some(b'0'..=b'9')) {
+            pos += 1;
+        }
+    }
+    debug_assert!(pos > start);
+    Ok(pos)
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-0.5e+10",
+            r#"{"a":[1,2,{"b":"c\n"}],"d":null}"#,
+            "  [1, 2, 3]  ",
+            r#""é""#,
+        ] {
+            assert!(validate(ok).is_ok(), "should accept {ok:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "[1] []",
+            "{'a':1}",
+            "nul",
+        ] {
+            assert!(validate(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escape_covers_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert!(validate(&format!("\"{}\"", escape("x\"\n\\\u{2}"))).is_ok());
+    }
+}

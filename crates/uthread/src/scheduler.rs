@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use astriflash_sim::{SimDuration, SimTime};
+use astriflash_trace::{Track, Tracer};
 
 /// Scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -93,6 +94,9 @@ pub struct Scheduler {
     /// merely-average-aged heads wastes core time wholesale.
     aging_multiplier: f64,
     stats: SchedulerStats,
+    tracer: Tracer,
+    /// Which [`Track::Scheduler`] lane this instance emits on (the core id).
+    lane: u32,
 }
 
 impl Scheduler {
@@ -112,7 +116,17 @@ impl Scheduler {
             avg_flash_response_ns: 50_000.0,
             aging_multiplier: 2.0,
             stats: SchedulerStats::default(),
+            tracer: Tracer::off(),
+            lane: 0,
         }
+    }
+
+    /// Installs the observability handle. Park/ready/pick decisions emit
+    /// on [`Track::Scheduler`]`(lane)`, attributed to the composer's
+    /// current miss span. `lane` is the owning core's id.
+    pub fn set_tracer(&mut self, tracer: Tracer, lane: u32) {
+        self.tracer = tracer;
+        self.lane = lane;
     }
 
     /// Overrides the aging multiplier (ablation knob).
@@ -127,6 +141,14 @@ impl Scheduler {
         if self.pending.len() >= self.pending_capacity {
             self.stats.queue_full_events += 1;
             let oldest = self.pending.front().expect("capacity > 0").thread;
+            if self.tracer.enabled() {
+                self.tracer.instant(
+                    now.as_ns(),
+                    Track::Scheduler(self.lane),
+                    "queue_full",
+                    oldest as u64,
+                );
+            }
             return MissPark::QueueFullWaitFor(oldest);
         }
         self.pending.push_back(PendingJob {
@@ -135,6 +157,14 @@ impl Scheduler {
             ready: false,
         });
         self.stats.parks += 1;
+        if self.tracer.enabled() {
+            self.tracer.span_instant(
+                now.as_ns(),
+                Track::Scheduler(self.lane),
+                "park",
+                thread as u64,
+            );
+        }
         MissPark::Parked
     }
 
@@ -147,6 +177,14 @@ impl Scheduler {
             let response = now.saturating_since(job.enqueued_at).as_ns() as f64;
             // EMA with 1/16 gain: cheap to compute in the real handler.
             self.avg_flash_response_ns += (response - self.avg_flash_response_ns) / 16.0;
+            if self.tracer.enabled() {
+                self.tracer.span_instant(
+                    now.as_ns(),
+                    Track::Scheduler(self.lane),
+                    "ready",
+                    thread as u64,
+                );
+            }
         }
     }
 
@@ -156,10 +194,28 @@ impl Scheduler {
     /// pending queue while new jobs remain).
     pub fn pick(&mut self, now: SimTime, new_available: bool, after_miss: bool) -> Pick {
         self.stats.switches += 1;
-        match self.policy {
+        let pick = match self.policy {
             Policy::PriorityAging => self.pick_priority(now, new_available),
             Policy::Fifo => self.pick_fifo(new_available, after_miss),
+        };
+        if self.tracer.enabled() {
+            match pick {
+                Pick::NewJob => {
+                    self.tracer
+                        .instant(now.as_ns(), Track::Scheduler(self.lane), "pick_new", 0);
+                }
+                Pick::Pending { thread, ready } => {
+                    self.tracer.instant(
+                        now.as_ns(),
+                        Track::Scheduler(self.lane),
+                        if ready { "pick_pending" } else { "pick_forced" },
+                        thread as u64,
+                    );
+                }
+                Pick::Idle => {}
+            }
         }
+        pick
     }
 
     fn pick_priority(&mut self, now: SimTime, new_available: bool) -> Pick {
@@ -382,6 +438,26 @@ mod tests {
         let after = s.aging_threshold_ns();
         assert!(after > before, "EMA should move toward 80 µs: {after}");
         assert!((60_000.0..90_000.0).contains(&after));
+    }
+
+    #[test]
+    fn tracer_sees_park_ready_and_picks() {
+        let mut s = Scheduler::new(Policy::PriorityAging, 2);
+        let tracer = Tracer::ring(64);
+        s.set_tracer(tracer.clone(), 3);
+        s.park_on_miss(SimTime::ZERO, 7);
+        s.page_arrived(SimTime::from_us(50), 7);
+        s.pick(SimTime::from_us(60), true, false);
+        s.park_on_miss(SimTime::from_us(61), 1);
+        s.park_on_miss(SimTime::from_us(62), 2);
+        s.park_on_miss(SimTime::from_us(63), 4); // queue full
+        let evs = tracer.finish();
+        let names: Vec<&str> = evs.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec!["park", "ready", "pick_pending", "park", "park", "queue_full"]
+        );
+        assert!(evs.iter().all(|e| e.track == Track::Scheduler(3)));
     }
 
     #[test]

@@ -17,4 +17,12 @@ cargo test -q --release --workspace
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> trace_run smoke (offline Perfetto/CSV export)"
+cargo run --release -q -p astriflash-bench --bin trace_run -- --quick
+# trace_run self-validates the JSON (hand-rolled RFC 8259 recognizer,
+# no network / no JSON crate) and exits non-zero on failure; here we
+# only re-check the artifacts landed and are non-empty.
+test -s results/trace_run.json
+test -s results/trace_run_gauges.csv
+
 echo "CI green."

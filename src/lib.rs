@@ -22,6 +22,7 @@ pub use astriflash_mem as mem;
 pub use astriflash_os as os;
 pub use astriflash_sim as sim;
 pub use astriflash_stats as stats;
+pub use astriflash_trace as trace;
 pub use astriflash_uthread as uthread;
 pub use astriflash_workloads as workloads;
 
@@ -32,5 +33,6 @@ pub mod prelude {
     pub use astriflash_core::queueing::{mm1_p99, mmk_p99, QueueModel};
     pub use astriflash_sim::{SimDuration, SimRng, SimTime};
     pub use astriflash_stats::{Histogram, Percentile};
+    pub use astriflash_trace::Tracer;
     pub use astriflash_workloads::{WorkloadKind, ZipfGenerator};
 }
