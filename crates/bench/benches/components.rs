@@ -5,17 +5,93 @@
 //! cargo bench -p astriflash-bench --bench components [-- --quick]
 //! ```
 
+use std::collections::HashMap;
+
 use astriflash_bench::timing::Bench;
 use astriflash_flash::{FlashConfig, FlashDevice};
 use astriflash_mem::{DramCache, DramCacheConfig, PageLru, SramCache};
-use astriflash_sim::{SimRng, SimTime};
+use astriflash_sim::{EventQueue, HeapEventQueue, PageMap, SimDuration, SimRng, SimTime};
 use astriflash_stats::Histogram;
 use astriflash_uthread::{Policy, Scheduler};
 use astriflash_workloads::engines::rb_tree::RbArena;
 use astriflash_workloads::{WorkloadKind, WorkloadParams, ZipfGenerator};
 
+/// Steady-state churn depth for the event-queue pair.
+const QUEUE_DEPTH: u64 = 1 << 16;
+
 fn main() {
     let mut bench = Bench::from_args();
+
+    // --- Kernel hot-path pairs (timer wheel vs heap, PageMap vs
+    // SipHash, table-accelerated vs formula Zipf) ---------------------
+
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+    for i in 0..QUEUE_DEPTH {
+        wheel.schedule(SimTime::from_ns(i * 64), i);
+        heap.schedule(SimTime::from_ns(i * 64), i);
+    }
+    // Delays follow the simulator's bimodal mix (~2 µs compute slices,
+    // ~100 µs flash reads).
+    let delay_of = |lcg: u64| {
+        if lcg & 1 == 0 {
+            2_000 + (lcg >> 54)
+        } else {
+            100_000 + (lcg >> 48)
+        }
+    };
+    let mut lcg = 0x243F_6A88_85A3_08D3u64;
+    bench.bench("event_queue_wheel_churn", || {
+        let (now, _) = wheel.pop().unwrap();
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        wheel.schedule(now + SimDuration::from_ns(delay_of(lcg)), 0);
+    });
+    lcg = 0x243F_6A88_85A3_08D3;
+    bench.bench("event_queue_heap_churn", || {
+        let (now, _) = heap.pop().unwrap();
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        heap.schedule(now + SimDuration::from_ns(delay_of(lcg)), 0);
+    });
+
+    // Steady-state map churn: hit lookup + remove + insert per iter,
+    // the op mix of the FTL map and the in-flight miss maps.
+    let mut page_map: PageMap<u64> = PageMap::with_capacity(1 << 16);
+    let mut sip_map: HashMap<u64, u64> = HashMap::with_capacity(1 << 16);
+    for k in 0..(1u64 << 16) {
+        page_map.insert(k * 7, k);
+        sip_map.insert(k * 7, k);
+    }
+    let mut base = 0u64;
+    let mut key = 1u64;
+    bench.bench("page_map_churn", || {
+        key = key.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let hit = page_map.get((base + (key >> 48)) * 7);
+        page_map.remove(base * 7);
+        page_map.insert((base + (1 << 16)) * 7, base);
+        base += 1;
+        hit
+    });
+    base = 0;
+    key = 1;
+    bench.bench("siphash_map_churn", || {
+        key = key.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let hit = sip_map.get(&((base + (key >> 48)) * 7)).copied();
+        sip_map.remove(&(base * 7));
+        sip_map.insert((base + (1 << 16)) * 7, base);
+        base += 1;
+        hit
+    });
+
+    // Hot domain: the coverage gate retains the table here (at figure
+    // scale the generator self-disables it).
+    let zipf_fast = ZipfGenerator::new(1 << 12, 0.99);
+    let zipf_slow = ZipfGenerator::without_table(1 << 12, 0.99);
+    let mut rng_zf = SimRng::new(11);
+    bench.bench("zipf_sample_table", || zipf_fast.sample(&mut rng_zf));
+    let mut rng_zs = SimRng::new(11);
+    bench.bench("zipf_sample_formula", || zipf_slow.sample(&mut rng_zs));
+
+    // --- Component benches -------------------------------------------
 
     let zipf = ZipfGenerator::new(1 << 21, 0.99);
     let mut rng = SimRng::new(1);

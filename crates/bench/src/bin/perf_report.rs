@@ -1,0 +1,302 @@
+//! Wall-clock performance report for the simulation kernel.
+//!
+//! Produces `results/BENCH_3.json` with two sections:
+//!
+//! * **microbenches** — paired baseline-vs-optimized timings of the
+//!   kernel hot paths this PR overhauled: timer-wheel vs binary-heap
+//!   event queue, flat `PageMap`/FxHash vs SipHash lookups, and the
+//!   table-accelerated vs plain-formula Zipf sampler. Each pair reports
+//!   its speedup (`baseline_ns / optimized_ns`).
+//! * **figure_cells** — wall-clock seconds and simulation-kernel
+//!   throughput (events/second) for representative figure cells, one
+//!   per configuration class.
+//!
+//! ```text
+//! cargo run --release -p astriflash-bench --bin perf_report [-- --smoke]
+//! ```
+//!
+//! `--smoke` runs reduced-scale cells with a low-precision timer so CI
+//! can validate the artifact schema in seconds. The report records
+//! whatever the machine produced (no pass/fail thresholds): wall-clock
+//! numbers are environment-dependent by nature, so regressions are
+//! judged by comparing committed reports, not by gating the build.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use astriflash_bench::timing::Bench;
+use astriflash_core::config::{Configuration, SystemConfig};
+use astriflash_core::sweep::Cell;
+use astriflash_sim::{EventQueue, HeapEventQueue, PageMap, SimDuration, SimRng, SimTime};
+use astriflash_trace::json;
+use astriflash_workloads::ZipfGenerator;
+
+/// Steady-state churn depth for the event-queue pair.
+const QUEUE_DEPTH: u64 = 1 << 16;
+
+struct Pair {
+    name: &'static str,
+    baseline: &'static str,
+    baseline_ns: f64,
+    optimized: &'static str,
+    optimized_ns: f64,
+}
+
+impl Pair {
+    fn speedup(&self) -> f64 {
+        if self.optimized_ns > 0.0 {
+            self.baseline_ns / self.optimized_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+struct FigureCell {
+    name: &'static str,
+    wall_seconds: f64,
+    events: u64,
+    jobs: u64,
+}
+
+impl FigureCell {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+fn median_of(bench: &Bench, name: &str) -> f64 {
+    bench
+        .results()
+        .iter()
+        .find(|m| m.name == name)
+        .map(|m| m.median_ns)
+        .unwrap_or(0.0)
+}
+
+fn run_microbenches(smoke: bool) -> Vec<Pair> {
+    let mut bench = Bench::with_quick(smoke);
+
+    // Event queue: pop-one/push-one churn at steady depth, identical
+    // delay stream for both implementations. Delays follow the
+    // simulator's bimodal mix: ~2 µs compute slices and ~100 µs flash
+    // reads, each with jitter.
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+    for i in 0..QUEUE_DEPTH {
+        wheel.schedule(SimTime::from_ns(i * 64), i);
+        heap.schedule(SimTime::from_ns(i * 64), i);
+    }
+    let delay_of = |lcg: u64| {
+        if lcg & 1 == 0 {
+            2_000 + (lcg >> 54)
+        } else {
+            100_000 + (lcg >> 48)
+        }
+    };
+    let mut lcg = 0x243F_6A88_85A3_08D3u64;
+    bench.bench("event_queue_wheel_churn", || {
+        let (now, _) = wheel.pop().unwrap();
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        wheel.schedule(now + SimDuration::from_ns(delay_of(lcg)), 0);
+    });
+    lcg = 0x243F_6A88_85A3_08D3;
+    bench.bench("event_queue_heap_churn", || {
+        let (now, _) = heap.pop().unwrap();
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        heap.schedule(now + SimDuration::from_ns(delay_of(lcg)), 0);
+    });
+
+    // Hashing: steady-state churn over 64 Ki resident pages — one hit
+    // lookup, one remove, one insert per iteration, the op mix of the
+    // FTL map and the in-flight miss maps (hash cost is paid on every
+    // op).
+    let mut page_map: PageMap<u64> = PageMap::with_capacity(1 << 16);
+    let mut sip_map: HashMap<u64, u64> = HashMap::with_capacity(1 << 16);
+    for k in 0..(1u64 << 16) {
+        page_map.insert(k * 7, k);
+        sip_map.insert(k * 7, k);
+    }
+    let mut base = 0u64;
+    let mut key = 1u64;
+    bench.bench("page_map_churn", || {
+        key = key.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let hit = page_map.get((base + (key >> 48)) * 7);
+        page_map.remove(base * 7);
+        page_map.insert((base + (1 << 16)) * 7, base);
+        base += 1;
+        hit
+    });
+    base = 0;
+    key = 1;
+    bench.bench("siphash_map_churn", || {
+        key = key.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let hit = sip_map.get(&((base + (key >> 48)) * 7)).copied();
+        sip_map.remove(&(base * 7));
+        sip_map.insert((base + (1 << 16)) * 7, base);
+        base += 1;
+        hit
+    });
+
+    // Zipf: table-accelerated vs plain inverse-CDF, same draw stream.
+    // A hot domain where the coverage gate retains the table; at figure
+    // scale the generator self-disables it and the pair would be ~1.0x
+    // by construction.
+    let zipf_fast = ZipfGenerator::new(1 << 12, 0.99);
+    let zipf_slow = ZipfGenerator::without_table(1 << 12, 0.99);
+    assert!(zipf_fast.table_coverage() > 0.0, "table unexpectedly gated");
+    let mut rng_f = SimRng::new(11);
+    bench.bench("zipf_sample_table", || zipf_fast.sample(&mut rng_f));
+    let mut rng_s = SimRng::new(11);
+    bench.bench("zipf_sample_formula", || zipf_slow.sample(&mut rng_s));
+
+    vec![
+        Pair {
+            name: "event_queue_churn",
+            baseline: "binary_heap",
+            baseline_ns: median_of(&bench, "event_queue_heap_churn"),
+            optimized: "timer_wheel",
+            optimized_ns: median_of(&bench, "event_queue_wheel_churn"),
+        },
+        Pair {
+            name: "page_map_churn",
+            baseline: "siphash_hashmap",
+            baseline_ns: median_of(&bench, "siphash_map_churn"),
+            optimized: "flat_page_map",
+            optimized_ns: median_of(&bench, "page_map_churn"),
+        },
+        Pair {
+            name: "zipf_sample",
+            baseline: "inverse_cdf_formula",
+            baseline_ns: median_of(&bench, "zipf_sample_formula"),
+            optimized: "cached_cdf_table",
+            optimized_ns: median_of(&bench, "zipf_sample_table"),
+        },
+    ]
+}
+
+fn run_figure_cells(smoke: bool) -> Vec<FigureCell> {
+    let (cfg, jobs) = if smoke {
+        (
+            SystemConfig::default().with_cores(4).scaled_for_tests(),
+            80u64,
+        )
+    } else {
+        (SystemConfig::default(), 200u64)
+    };
+    let specs: [(&'static str, Configuration); 3] = [
+        ("fig9_astriflash_closed", Configuration::AstriFlash),
+        ("fig9_flash_sync_closed", Configuration::FlashSync),
+        ("fig9_dram_only_closed", Configuration::DramOnly),
+    ];
+    specs
+        .iter()
+        .map(|&(name, configuration)| {
+            let cell = Cell::closed(cfg.clone(), configuration, 1, jobs);
+            let start = Instant::now();
+            let report = cell.run();
+            let wall = start.elapsed().as_secs_f64();
+            println!(
+                "{name:<26} {wall:>8.3} s   {:>12.0} events/s   ({} events, {} jobs)",
+                report.events_processed as f64 / wall.max(1e-9),
+                report.events_processed,
+                report.jobs_completed,
+            );
+            FigureCell {
+                name,
+                wall_seconds: wall,
+                events: report.events_processed,
+                jobs: report.jobs_completed,
+            }
+        })
+        .collect()
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn render_json(mode: &str, pairs: &[Pair], cells: &[FigureCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"BENCH_3\",");
+    let _ = writeln!(s, "  \"mode\": \"{mode}\",");
+    s.push_str("  \"microbenches\": [\n");
+    for (i, p) in pairs.iter().enumerate() {
+        let comma = if i + 1 < pairs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"baseline\": \"{}\", \"baseline_ns\": {}, \
+             \"optimized\": \"{}\", \"optimized_ns\": {}, \"speedup\": {}}}{comma}",
+            p.name,
+            p.baseline,
+            num(p.baseline_ns),
+            p.optimized,
+            num(p.optimized_ns),
+            num(p.speedup()),
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"figure_cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"wall_seconds\": {}, \"events\": {}, \
+             \"jobs\": {}, \"events_per_sec\": {}}}{comma}",
+            c.name,
+            num(c.wall_seconds),
+            c.events,
+            c.jobs,
+            num(c.events_per_sec()),
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    let mode = if smoke { "smoke" } else { "full" };
+
+    println!("== kernel microbenches ({mode}) ==");
+    let pairs = run_microbenches(smoke);
+    for p in &pairs {
+        println!(
+            "{:<20} {}: {:.1} ns  ->  {}: {:.1} ns   ({:.2}x)",
+            p.name,
+            p.baseline,
+            p.baseline_ns,
+            p.optimized,
+            p.optimized_ns,
+            p.speedup()
+        );
+    }
+
+    println!("== figure cells ({mode}) ==");
+    let cells = run_figure_cells(smoke);
+
+    let out = render_json(mode, &pairs, &cells);
+    if let Err(e) = json::validate(&out) {
+        eprintln!("error: BENCH_3.json failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_3.json", &out))
+    {
+        eprintln!("error: writing results/BENCH_3.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote results/BENCH_3.json ({} bytes)", out.len());
+    ExitCode::SUCCESS
+}

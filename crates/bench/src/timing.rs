@@ -66,9 +66,15 @@ impl Bench {
 
     /// Creates a runner; reads `--quick` from the process arguments.
     pub fn from_args() -> Self {
+        Self::with_quick(std::env::args().any(|a| a == "--quick"))
+    }
+
+    /// Creates a runner with an explicit precision mode (quick = fewer,
+    /// shorter batches) — for harnesses with their own flag parsing.
+    pub fn with_quick(quick: bool) -> Self {
         Bench {
             results: Vec::new(),
-            quick: std::env::args().any(|a| a == "--quick"),
+            quick,
         }
     }
 

@@ -146,6 +146,11 @@ pub struct RunReport {
     pub service_hist: Histogram,
     /// Full response-time histogram.
     pub response_hist: Histogram,
+    /// Discrete events the simulation kernel processed during the run.
+    /// Deliberately a plain field (not a [`MetricSet`] entry) so rendered
+    /// reports and golden figures are unaffected; the perf harness uses
+    /// it to compute events/sec.
+    pub events_processed: u64,
     /// Extra metrics for reports.
     pub metrics: MetricSet,
 }
@@ -210,6 +215,7 @@ impl RunReport {
             miss_interval_us,
             service_hist: stats.service_ns,
             response_hist: stats.response_ns,
+            events_processed: stats.events_processed,
             metrics,
         }
     }

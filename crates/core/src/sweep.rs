@@ -156,8 +156,12 @@ impl Sweep {
     }
 
     /// Runs every cell and returns reports **in cell order**.
+    ///
+    /// A cell that panics aborts the sweep with a panic message naming
+    /// the offending cell (configuration, workload, seed, load), so a
+    /// failure deep inside a 100-cell grid is immediately attributable.
     pub fn run(&self, cells: &[Cell]) -> Vec<RunReport> {
-        self.map(cells, |_, cell| cell.run())
+        self.map_described(cells, |_, cell| cell.run(), describe_cell)
     }
 
     /// Like [`Sweep::run`], but attaches `tracer` to **cell 0 only**:
@@ -165,13 +169,17 @@ impl Sweep {
     /// perturbing any cell's report (traced and untraced runs produce
     /// bit-identical reports).
     pub fn run_with_cell0_trace(&self, cells: &[Cell], tracer: Tracer) -> Vec<RunReport> {
-        self.map(cells, |i, cell| {
-            if i == 0 {
-                cell.run_traced(tracer.clone())
-            } else {
-                cell.run()
-            }
-        })
+        self.map_described(
+            cells,
+            |i, cell| {
+                if i == 0 {
+                    cell.run_traced(tracer.clone())
+                } else {
+                    cell.run()
+                }
+            },
+            describe_cell,
+        )
     }
 
     /// Deterministic parallel map: applies `f(index, &item)` to every
@@ -188,32 +196,61 @@ impl Sweep {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
+        self.map_described(items, f, |i, _| format!("item {i}"))
+    }
+
+    /// [`Sweep::map`] with a caller-provided item description: when
+    /// `f(i, item)` panics, the sweep re-panics with `describe(i, item)`
+    /// plus the original message, regardless of which worker ran it.
+    /// Worker threads are named `astriflash-sweep-{i}` so native tools
+    /// (gdb, perf, /proc) attribute them too.
+    pub fn map_described<T, R, F, D>(&self, items: &[T], f: F, describe: D) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+        D: Fn(usize, &T) -> String + Sync,
+    {
         let workers = self.threads.min(items.len());
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| call_with_context(&f, &describe, i, x))
+                .collect();
         }
 
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= items.len() {
-                                break;
+                .map(|w| {
+                    std::thread::Builder::new()
+                        .name(format!("astriflash-sweep-{w}"))
+                        .spawn_scoped(scope, || {
+                            let mut local: Vec<(usize, R)> = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= items.len() {
+                                    break;
+                                }
+                                local.push((i, call_with_context(&f, &describe, i, &items[i])));
                             }
-                            local.push((i, f(i, &items[i])));
-                        }
-                        local
-                    })
+                            local
+                        })
+                        .expect("spawn sweep worker")
                 })
                 .collect();
             for handle in handles {
-                for (i, r) in handle.join().expect("sweep worker panicked") {
-                    slots[i] = Some(r);
+                match handle.join() {
+                    Ok(local) => {
+                        for (i, r) in local {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    // The worker already enriched the payload with the
+                    // cell context; re-raise it on the caller's thread.
+                    Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         });
@@ -221,6 +258,41 @@ impl Sweep {
             .into_iter()
             .map(|s| s.expect("every index visited exactly once"))
             .collect()
+    }
+}
+
+/// One line identifying a sweep cell in panic messages.
+fn describe_cell(i: usize, cell: &Cell) -> String {
+    format!(
+        "cell {i} (configuration={} workload={} cores={} seed={} load={:?})",
+        cell.configuration.name(),
+        cell.cfg.workload.name(),
+        cell.cfg.cores,
+        cell.seed,
+        cell.load,
+    )
+}
+
+/// Runs `f(i, item)`, converting any panic into one that leads with
+/// `describe(i, item)` so the failing cell is identifiable from the
+/// panic message alone.
+fn call_with_context<T, R>(
+    f: &(impl Fn(usize, &T) -> R + Sync),
+    describe: &(impl Fn(usize, &T) -> String + Sync),
+    i: usize,
+    item: &T,
+) -> R {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .map(str::to_owned)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+            panic!("sweep failed at {}: {msg}", describe(i, item));
+        }
     }
 }
 
@@ -280,5 +352,72 @@ mod tests {
     #[test]
     fn with_threads_clamps_to_one() {
         assert_eq!(Sweep::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn worker_threads_are_named() {
+        let items: Vec<u64> = (0..16).collect();
+        let names = Sweep::with_threads(4).map(&items, |_, _| {
+            std::thread::current().name().map(str::to_owned)
+        });
+        for name in names {
+            let name = name.expect("sweep workers must be named");
+            assert!(
+                name.starts_with("astriflash-sweep-"),
+                "unexpected worker name {name:?}"
+            );
+        }
+    }
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn panics_carry_item_context_across_threads() {
+        let items: Vec<u64> = (0..8).collect();
+        let result = std::panic::catch_unwind(|| {
+            Sweep::with_threads(2).map_described(
+                &items,
+                |_, &x| {
+                    if x == 5 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                },
+                |i, _| format!("cell {i} seed=42"),
+            )
+        });
+        let msg = panic_message(result.expect_err("sweep must propagate the panic"));
+        assert!(msg.contains("cell 5 seed=42"), "missing context: {msg}");
+        assert!(msg.contains("boom at 5"), "missing original message: {msg}");
+    }
+
+    #[test]
+    fn panics_carry_item_context_single_threaded() {
+        let result = std::panic::catch_unwind(|| {
+            Sweep::with_threads(1).map_described(
+                &[1u64],
+                |_, _| -> u64 { panic!("solo boom") },
+                |i, _| format!("lone cell {i}"),
+            )
+        });
+        let msg = panic_message(result.expect_err("panic must propagate"));
+        assert!(msg.contains("lone cell 0"), "missing context: {msg}");
+        assert!(msg.contains("solo boom"), "missing original message: {msg}");
+    }
+
+    #[test]
+    fn cell_description_names_the_configuration_and_seed() {
+        let cell = Cell::closed(cfg(), Configuration::AstriFlash, 77, 10);
+        let d = describe_cell(3, &cell);
+        assert!(d.contains("cell 3"), "{d}");
+        assert!(d.contains("AstriFlash"), "{d}");
+        assert!(d.contains("seed=77"), "{d}");
+        assert!(d.contains("Closed"), "{d}");
     }
 }

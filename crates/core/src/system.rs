@@ -21,7 +21,7 @@
 //! the hot path cheap (an inclusive implementation would shave at most
 //! a handful of optimistic on-chip hits per million accesses).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use astriflash_cpu::{ArchState, OooTiming, Privilege, Rob, StoreBuffer};
 use astriflash_flash::FlashDevice;
@@ -31,7 +31,7 @@ use astriflash_mem::{
 };
 use astriflash_os::tlb::TlbResult;
 use astriflash_os::{PageTableWalker, Tlb};
-use astriflash_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use astriflash_sim::{EventQueue, PageMap, SimDuration, SimRng, SimTime};
 use astriflash_stats::{Histogram, OnlineStats};
 use astriflash_trace::{Track, Tracer};
 use astriflash_uthread::{Completion, MissPark, NotificationQueue, Pick, Policy, Scheduler};
@@ -181,6 +181,9 @@ pub struct SystemStats {
     pub flash_read_bytes: u64,
     /// Dirty-page writebacks to flash.
     pub flash_writebacks: u64,
+    /// Discrete events popped from the simulation queue over the whole
+    /// run — the denominator for kernel-throughput (events/sec) metrics.
+    pub events_processed: u64,
 }
 
 /// The composed full-system simulator.
@@ -211,13 +214,18 @@ pub struct SystemSim {
     park_ns: Histogram,
     flash_read_ns: Histogram,
     /// Footprint bitmap of each in-flight flash read (footprint mode).
-    inflight_footprints: HashMap<u64, u64>,
+    /// Bounded by the MSR capacity, so the map is pre-sized and never
+    /// rehashes.
+    inflight_footprints: PageMap<u64>,
     stopped: bool,
     max_time: SimTime,
     tracer: Tracer,
     /// Trace span of the thread that *issued* each in-flight flash read
-    /// (page → span id); completions re-attribute to it.
-    inflight_spans: HashMap<u64, u64>,
+    /// (page → span id); completions re-attribute to it. Bounded by the
+    /// MSR capacity like `inflight_footprints`.
+    inflight_spans: PageMap<u64>,
+    /// Reused waiter buffer for completions (cleared between events).
+    waiter_scratch: Vec<Waiter>,
     /// Previous gauge-sample window state (hits, misses, per-core busy,
     /// sample time) for windowed rates.
     gauge_prev: GaugeWindow,
@@ -266,7 +274,7 @@ impl SystemSim {
                 timing: OooTiming::default(),
                 threads: (0..threads_per_core).map(|_| None).collect(),
                 running: None,
-                job_queue: VecDeque::new(),
+                job_queue: VecDeque::with_capacity(2 * threads_per_core),
                 pending_penalty_ns: 0,
                 resume_pending: false,
                 stats: CoreStats::default(),
@@ -338,11 +346,14 @@ impl SystemSim {
             service_stats: OnlineStats::new(),
             park_ns: Histogram::new(),
             flash_read_ns: Histogram::new(),
-            inflight_footprints: HashMap::new(),
+            // In-flight reads are capped by the MSR, so sizing both maps
+            // to its capacity makes rehashing impossible at runtime.
+            inflight_footprints: PageMap::with_capacity(msr_sets * msr_ways),
             stopped: false,
             max_time,
             tracer: Tracer::off(),
-            inflight_spans: HashMap::new(),
+            inflight_spans: PageMap::with_capacity(msr_sets * msr_ways),
+            waiter_scratch: Vec::new(),
             gauge_prev: GaugeWindow::default(),
         }
     }
@@ -450,6 +461,7 @@ impl SystemSim {
             flash_reads: self.flash.stats().reads,
             flash_read_bytes: self.flash.stats().read_bytes,
             flash_writebacks: self.bc.stats().writebacks,
+            events_processed: self.queue.popped_total(),
             service_stats: self.service_stats,
             park_ns: self.park_ns,
             flash_read_ns: self.flash_read_ns,
@@ -565,27 +577,34 @@ impl SystemSim {
 
     fn on_page_arrived(&mut self, page: u64) {
         let now = self.queue.now();
-        let bitmap = self.inflight_footprints.remove(&page).unwrap_or(u64::MAX);
+        let bitmap = self.inflight_footprints.remove(page).unwrap_or(u64::MAX);
         if self.tracer.enabled() {
             // Re-attribute the install (and any writeback) to the span
             // of the thread that issued this flash read.
-            match self.inflight_spans.remove(&page) {
+            match self.inflight_spans.remove(page) {
                 Some(span) => self.tracer.resume_span(span),
                 None => self.tracer.clear_span(),
             }
         }
-        let (completion, dirty_victim) =
-            self.bc
-                .complete_with_footprint(now, page, bitmap, &mut self.dram_cache);
+        // Take the scratch buffer so the waiter loop below can borrow
+        // `self` mutably; returned (cleared) at the end.
+        let mut waiters = std::mem::take(&mut self.waiter_scratch);
+        let (installed_at, dirty_victim) = self.bc.complete_with_footprint_into(
+            now,
+            page,
+            bitmap,
+            &mut self.dram_cache,
+            &mut waiters,
+        );
         if let Some(victim) = dirty_victim {
             // Dirty writeback off the critical path (§IV-B2); flash
             // tracks the program + any GC it triggers.
-            self.flash.write(completion.installed_at, victim);
+            self.flash.write(installed_at, victim);
         }
-        for w in completion.waiters {
+        for &w in &waiters {
             let core = w.core as usize;
             let thread = w.thread as usize;
-            let installed = completion.installed_at;
+            let installed = installed_at;
             let Some(t) = self.cores[core].threads[thread].as_mut() else {
                 continue;
             };
@@ -626,6 +645,8 @@ impl SystemSim {
                 _ => {}
             }
         }
+        waiters.clear();
+        self.waiter_scratch = waiters;
         self.tracer.clear_span();
     }
 
@@ -1273,6 +1294,31 @@ mod tests {
         assert!(evs.iter().any(|e| e.name == "miss"));
         assert!(evs.iter().any(|e| e.name == "msr_occupancy"));
         assert!(evs.iter().any(|e| e.name == "core_util"));
+    }
+
+    #[test]
+    fn inflight_maps_presized_past_the_msr_bound() {
+        // The MSR caps concurrent misses, so the in-flight maps must be
+        // born large enough that no admission pattern can ever trigger a
+        // rehash (satellite of the hot-path overhaul: capacity hints on
+        // known-bounded maps).
+        let config = SystemConfig::default().with_cores(2).scaled_for_tests();
+        let (sets, ways) = config.msr_geometry;
+        let sim = SystemSim::new(config, Configuration::AstriFlash, 7);
+        let cap_before = sim.inflight_footprints.capacity();
+        assert!(cap_before * 3 >= sets * ways * 4, "map would rehash under full MSR");
+        assert!(sim.inflight_spans.capacity() * 3 >= sets * ways * 4);
+    }
+
+    #[test]
+    fn events_processed_counts_the_run() {
+        let stats = quick(Configuration::AstriFlash);
+        assert!(
+            stats.events_processed > stats.measured_jobs,
+            "every job takes at least one event"
+        );
+        let again = quick(Configuration::AstriFlash);
+        assert_eq!(stats.events_processed, again.events_processed);
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl FlashDevice {
         let channels = (0..cfg.channels)
             .map(|_| BandwidthLink::new(cfg.channel_bandwidth_bps))
             .collect();
-        let ftl = Ftl::new(cfg.num_planes());
+        let ftl = Ftl::with_capacity_hints(
+            cfg.num_planes(),
+            cfg.num_logical_pages() as usize,
+            (cfg.blocks_per_plane() * cfg.num_planes() as u64) as usize,
+        );
         FlashDevice {
             cfg,
             planes,

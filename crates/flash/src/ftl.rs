@@ -11,17 +11,22 @@
 //! The FTL also maintains the reverse mapping (block → live logical
 //! pages) that garbage collection needs to migrate victims' valid data.
 
-use std::collections::HashMap;
+use astriflash_sim::{FastHashMap, PageMap};
 
 use crate::plane::PhysPage;
 
 /// The FTL mapping state.
+///
+/// The forward map is on the critical path of every flash read and
+/// write, so it uses the flat page-keyed [`PageMap`]; the reverse index
+/// is only touched on writes and GC and uses the deterministic
+/// [`FastHashMap`] over its composite key.
 #[derive(Debug, Clone)]
 pub struct Ftl {
     num_planes: usize,
-    map: HashMap<u64, PhysPage>,
+    map: PageMap<PhysPage>,
     /// Live logical pages per (plane, block).
-    contents: HashMap<(usize, u32), Vec<u64>>,
+    contents: FastHashMap<(usize, u32), Vec<u64>>,
 }
 
 impl Ftl {
@@ -31,11 +36,25 @@ impl Ftl {
     ///
     /// Panics if `num_planes == 0`.
     pub fn new(num_planes: usize) -> Self {
+        Self::with_capacity_hints(num_planes, 0, 0)
+    }
+
+    /// Like [`Ftl::new`], but pre-sizes the forward map for
+    /// `expected_pages` mappings and the reverse index for
+    /// `expected_blocks` live blocks, so steady-state operation never
+    /// rehashes.
+    pub fn with_capacity_hints(
+        num_planes: usize,
+        expected_pages: usize,
+        expected_blocks: usize,
+    ) -> Self {
         assert!(num_planes > 0);
+        let mut contents = FastHashMap::default();
+        contents.reserve(expected_blocks);
         Ftl {
             num_planes,
-            map: HashMap::new(),
-            contents: HashMap::new(),
+            map: PageMap::with_capacity(expected_pages),
+            contents,
         }
     }
 
@@ -49,7 +68,7 @@ impl Ftl {
     /// Current physical location of `logical_page`, if it has been
     /// written since boot.
     pub fn lookup(&self, logical_page: u64) -> Option<PhysPage> {
-        self.map.get(&logical_page).copied()
+        self.map.get(logical_page)
     }
 
     /// Installs a new mapping after an out-of-place write; returns the

@@ -7,7 +7,7 @@
 use astriflash_sim::{SimDuration, SimTime};
 
 /// Physical location of a page inside a plane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct PhysPage {
     /// Block index within the plane.
     pub block: u32,

@@ -162,13 +162,39 @@ impl BacksideController {
         bitmap: u64,
         cache: &mut DramCache,
     ) -> (BcCompletion, Option<u64>) {
+        let mut waiters = Vec::new();
+        let (installed_at, dirty_victim) =
+            self.complete_with_footprint_into(now, page, bitmap, cache, &mut waiters);
+        (
+            BcCompletion {
+                installed_at,
+                waiters,
+            },
+            dirty_victim,
+        )
+    }
+
+    /// Allocation-free variant of [`complete_with_footprint`]: appends
+    /// the waiters to `out` (a caller-owned scratch buffer) instead of
+    /// returning a fresh vector, and returns the install time plus any
+    /// dirty victim.
+    ///
+    /// [`complete_with_footprint`]: BacksideController::complete_with_footprint
+    pub fn complete_with_footprint_into(
+        &mut self,
+        now: SimTime,
+        page: u64,
+        bitmap: u64,
+        cache: &mut DramCache,
+        out: &mut Vec<Waiter>,
+    ) -> (SimTime, Option<u64>) {
         let processed = now + SimDuration::from_ns(self.processing_ns);
         let (installed_at, dirty_victim) = cache.complete_fill(processed, page, bitmap);
         if dirty_victim.is_some() {
             self.stats.writebacks += 1;
         }
         self.stats.installs += 1;
-        let waiters = self.msr.complete(page);
+        self.msr.complete_into(page, out);
         if self.tracer.enabled() {
             self.tracer
                 .span_instant(installed_at.as_ns(), Track::Bc, "bc_install", page);
@@ -187,13 +213,7 @@ impl BacksideController {
                 self.msr.occupancy() as f64,
             );
         }
-        (
-            BcCompletion {
-                installed_at,
-                waiters,
-            },
-            dirty_victim,
-        )
+        (installed_at, dirty_victim)
     }
 
     /// Whether a read for `page` is in flight.

@@ -9,14 +9,14 @@
 //! the prediction that do get touched cost a *sub-miss* (a partial
 //! refetch).
 
-use std::collections::HashMap;
+use astriflash_sim::PageMap;
 
 /// Per-page footprint history.
 ///
 /// Bitmaps are one bit per 64 B block of a 4 KiB page (64 bits exactly).
 #[derive(Debug, Default)]
 pub struct FootprintPredictor {
-    history: HashMap<u64, u64>,
+    history: PageMap<u64>,
     predictions: u64,
     history_hits: u64,
 }
@@ -33,8 +33,8 @@ impl FootprintPredictor {
     pub fn predict(&mut self, page: u64, needed_block: u32) -> u64 {
         self.predictions += 1;
         let needed = 1u64 << (needed_block & 63);
-        match self.history.get(&page) {
-            Some(&bits) => {
+        match self.history.get(page) {
+            Some(bits) => {
                 self.history_hits += 1;
                 bits | needed
             }

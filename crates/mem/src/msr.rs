@@ -45,6 +45,9 @@ pub struct MissStatusRow {
     max_occupancy: usize,
     duplicates: u64,
     full_rejections: u64,
+    /// Recycled waiter vectors: completed entries return their (cleared)
+    /// allocation here so steady-state admission never allocates.
+    waiter_pool: Vec<Vec<Waiter>>,
 }
 
 impl MissStatusRow {
@@ -65,6 +68,7 @@ impl MissStatusRow {
             max_occupancy: 0,
             duplicates: 0,
             full_rejections: 0,
+            waiter_pool: Vec::new(),
         }
     }
 
@@ -86,10 +90,9 @@ impl MissStatusRow {
             self.full_rejections += 1;
             return MsrAdmission::Full;
         }
-        set.push(Entry {
-            page,
-            waiters: vec![waiter],
-        });
+        let mut waiters = self.waiter_pool.pop().unwrap_or_default();
+        waiters.push(waiter);
+        set.push(Entry { page, waiters });
         self.occupancy += 1;
         self.max_occupancy = self.max_occupancy.max(self.occupancy);
         MsrAdmission::Inserted
@@ -98,13 +101,23 @@ impl MissStatusRow {
     /// Completes the miss for `page`, returning its waiters (empty vec if
     /// no entry existed — e.g. a prefetch the composer issued directly).
     pub fn complete(&mut self, page: u64) -> Vec<Waiter> {
+        let mut out = Vec::new();
+        self.complete_into(page, &mut out);
+        out
+    }
+
+    /// Allocation-free completion: appends the waiters for `page` to
+    /// `out` (appends nothing if no entry existed) and recycles the
+    /// entry's waiter vector for future admissions.
+    pub fn complete_into(&mut self, page: u64, out: &mut Vec<Waiter>) {
         let set_idx = self.set_of(page);
         let set = &mut self.sets[set_idx];
         if let Some(pos) = set.iter().position(|e| e.page == page) {
             self.occupancy -= 1;
-            set.swap_remove(pos).waiters
-        } else {
-            Vec::new()
+            let mut entry = set.swap_remove(pos);
+            out.extend_from_slice(&entry.waiters);
+            entry.waiters.clear();
+            self.waiter_pool.push(entry.waiters);
         }
     }
 
@@ -178,6 +191,24 @@ mod tests {
     fn complete_unknown_page_is_empty() {
         let mut msr = MissStatusRow::new(2, 2);
         assert!(msr.complete(99).is_empty());
+    }
+
+    #[test]
+    fn complete_into_appends_and_recycles() {
+        let mut msr = MissStatusRow::new(4, 2);
+        msr.admit(10, W0);
+        msr.admit(10, W1);
+        msr.admit(11, W1);
+        let mut out = vec![W1]; // pre-existing contents must survive
+        msr.complete_into(10, &mut out);
+        assert_eq!(out, vec![W1, W0, W1]);
+        out.clear();
+        msr.complete_into(99, &mut out);
+        assert!(out.is_empty(), "unknown page appends nothing");
+        // The recycled vector serves the next admission without
+        // carrying stale waiters.
+        assert_eq!(msr.admit(20, W0), MsrAdmission::Inserted);
+        assert_eq!(msr.complete(20), vec![W0]);
     }
 
     #[test]

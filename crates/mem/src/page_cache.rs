@@ -5,7 +5,7 @@
 //! Implemented as a hash map plus an intrusive doubly-linked list over a
 //! slot arena, so a sweep over millions of accesses is O(1) per access.
 
-use std::collections::HashMap;
+use astriflash_sim::PageMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -31,7 +31,7 @@ struct Slot {
 /// ```
 #[derive(Debug)]
 pub struct PageLru {
-    map: HashMap<u64, u32>,
+    map: PageMap<u32>,
     slots: Vec<Slot>,
     head: u32, // MRU
     tail: u32, // LRU
@@ -49,7 +49,7 @@ impl PageLru {
     pub fn new(capacity_pages: usize) -> Self {
         assert!(capacity_pages > 0);
         PageLru {
-            map: HashMap::with_capacity(capacity_pages.min(1 << 22)),
+            map: PageMap::with_capacity(capacity_pages.min(1 << 22)),
             slots: Vec::with_capacity(capacity_pages.min(1 << 22)),
             head: NIL,
             tail: NIL,
@@ -88,7 +88,7 @@ impl PageLru {
     /// Accesses `page`; returns whether it hit. Misses install the page,
     /// evicting the LRU page if at capacity.
     pub fn access(&mut self, page: u64) -> bool {
-        if let Some(&idx) = self.map.get(&page) {
+        if let Some(idx) = self.map.get(page) {
             self.hits += 1;
             if self.head != idx {
                 self.unlink(idx);
@@ -102,7 +102,7 @@ impl PageLru {
             let idx = self.tail;
             let victim = self.slots[idx as usize].page;
             self.unlink(idx);
-            self.map.remove(&victim);
+            self.map.remove(victim);
             self.slots[idx as usize].page = page;
             idx
         } else {
@@ -121,7 +121,7 @@ impl PageLru {
 
     /// Whether `page` is resident (no LRU update).
     pub fn contains(&self, page: u64) -> bool {
-        self.map.contains_key(&page)
+        self.map.contains_key(page)
     }
 
     /// Resident page count.

@@ -28,12 +28,14 @@
 
 pub mod bandwidth;
 pub mod event;
+pub mod hash;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use bandwidth::BandwidthLink;
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapEventQueue};
+pub use hash::{FastHashMap, FxHasher, PageMap};
 pub use queue::BoundedQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,6 +1,8 @@
 //! Property tests of the simulation kernel primitives.
 
-use astriflash_sim::{BandwidthLink, BoundedQueue, SimDuration, SimRng, SimTime};
+use astriflash_sim::{
+    BandwidthLink, BoundedQueue, EventQueue, HeapEventQueue, PageMap, SimDuration, SimRng, SimTime,
+};
 use astriflash_testkit::prop_check;
 
 /// Time arithmetic: (t + d) - t == d and ordering is preserved, for any
@@ -71,6 +73,77 @@ fn rng_bounded_covers() {
             seen[v as usize] = true;
         }
         assert!(seen.iter().all(|&s| s), "a residue class was never drawn");
+    });
+}
+
+/// Differential test: the timer-wheel [`EventQueue`] must deliver the
+/// exact same `(timestamp, payload)` stream as the reference
+/// [`HeapEventQueue`] under randomized interleaved schedules and pops —
+/// including bursts of same-timestamp events (FIFO tie-breaks) and
+/// far-future events that land in the wheel's overflow level.
+#[test]
+fn event_queue_matches_heap_reference() {
+    prop_check!(cases: 64, |g| {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        let rounds = g.usize_in(1..400);
+        let mut tag = 0u64;
+        for _ in 0..rounds {
+            let schedules = g.usize_in(0..8);
+            for _ in 0..schedules {
+                // Mix of delay regimes: immediate (same-timestamp FIFO
+                // bursts at `now`), short, medium, long, and far-future
+                // (beyond the 2^42 ns wheel horizon → overflow level).
+                let delay = match g.usize_in(0..5) {
+                    0 => 0,
+                    1 => g.u64_in(0..64),
+                    2 => g.u64_in(0..100_000),
+                    3 => g.u64_in(0..1 << 30),
+                    _ => g.u64_in(1 << 42..1 << 50),
+                };
+                wheel.schedule_after_ns(delay, tag);
+                heap.schedule_after_ns(delay, tag);
+                tag += 1;
+            }
+            let pops = g.usize_in(0..6);
+            for _ in 0..pops {
+                assert_eq!(wheel.pop(), heap.pop(), "pop stream diverged");
+                assert_eq!(wheel.now(), heap.now());
+                assert_eq!(wheel.len(), heap.len());
+            }
+        }
+        // Drain both queues completely.
+        loop {
+            let w = wheel.pop();
+            assert_eq!(w, heap.pop(), "drain stream diverged");
+            if w.is_none() {
+                break;
+            }
+        }
+        assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
+    });
+}
+
+/// [`PageMap`] agrees with `std::collections::HashMap` under a random
+/// op stream over a small (collision-heavy) key space.
+#[test]
+fn page_map_matches_hashmap_reference() {
+    prop_check!(cases: 64, |g| {
+        let mut map: PageMap<u64> = PageMap::new();
+        let mut reference = std::collections::HashMap::new();
+        let ops = g.usize_in(1..2_000);
+        for _ in 0..ops {
+            let key = g.u64_in(0..256);
+            match g.usize_in(0..4) {
+                0 | 1 => {
+                    let val = g.any_u64();
+                    assert_eq!(map.insert(key, val), reference.insert(key, val));
+                }
+                2 => assert_eq!(map.remove(key), reference.remove(&key)),
+                _ => assert_eq!(map.get(key), reference.get(&key).copied()),
+            }
+            assert_eq!(map.len(), reference.len());
+        }
     });
 }
 

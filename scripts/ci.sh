@@ -25,4 +25,11 @@ cargo run --release -q -p astriflash-bench --bin trace_run -- --quick
 test -s results/trace_run.json
 test -s results/trace_run_gauges.csv
 
+echo "==> perf_report smoke (kernel perf baseline, record-only)"
+# Validates the BENCH_3.json schema end-to-end at reduced scale. The
+# numbers are environment-dependent and deliberately not gated; the
+# committed full-mode report is the reference.
+cargo run --release -q -p astriflash-bench --bin perf_report -- --smoke
+test -s results/BENCH_3.json
+
 echo "CI green."
