@@ -1,12 +1,15 @@
 //! Wall-clock performance report for the simulation kernel.
 //!
-//! Produces `results/BENCH_3.json` with two sections:
+//! Produces `results/BENCH_4.json` with two sections:
 //!
 //! * **microbenches** — paired baseline-vs-optimized timings of the
-//!   kernel hot paths this PR overhauled: timer-wheel vs binary-heap
-//!   event queue, flat `PageMap`/FxHash vs SipHash lookups, and the
-//!   table-accelerated vs plain-formula Zipf sampler. Each pair reports
-//!   its speedup (`baseline_ns / optimized_ns`).
+//!   kernel hot paths overhauled so far: timer-wheel vs binary-heap
+//!   event queue, flat `PageMap`/FxHash vs SipHash lookups, the
+//!   table-accelerated vs plain-formula Zipf sampler, and the flattened
+//!   memory path (SoA `SramCache` vs the `Vec<Vec<Line>>` tick-LRU
+//!   reference on an L1-resident hit loop and an eviction-heavy miss
+//!   walk, plus the SoA `Tlb` vs `RefTlb` probe loop). Each pair
+//!   reports its speedup (`baseline_ns / optimized_ns`).
 //! * **figure_cells** — wall-clock seconds and simulation-kernel
 //!   throughput (events/second) for representative figure cells, one
 //!   per configuration class.
@@ -29,6 +32,8 @@ use std::time::Instant;
 use astriflash_bench::timing::Bench;
 use astriflash_core::config::{Configuration, SystemConfig};
 use astriflash_core::sweep::Cell;
+use astriflash_mem::{RefSramCache, SramCache};
+use astriflash_os::{RefTlb, Tlb};
 use astriflash_sim::{EventQueue, HeapEventQueue, PageMap, SimDuration, SimRng, SimTime};
 use astriflash_trace::json;
 use astriflash_workloads::ZipfGenerator;
@@ -156,6 +161,102 @@ fn run_microbenches(smoke: bool) -> Vec<Pair> {
     let mut rng_s = SimRng::new(11);
     bench.bench("zipf_sample_formula", || zipf_slow.sample(&mut rng_s));
 
+    // L1 hit loop: the dominant access-path case. A 64 KiB / 4-way L1
+    // (the shipped geometry) with a half-resident working set, probed
+    // with the same LCG-scrambled stream for both layouts — every access
+    // hits, so this times the probe + MRU-promotion path alone.
+    let mut l1_flat = SramCache::new(64 << 10, 4);
+    let mut l1_ref = RefSramCache::new(64 << 10, 4);
+    let resident: u64 = 512; // blocks, < 1024-block capacity
+    for b in 0..resident {
+        l1_flat.access(b * 64, false);
+        l1_ref.access(b * 64, false);
+    }
+    // The flat side times `probe` — the exact call the simulator's
+    // inlined fast path makes per L1 hit; the reference side times the
+    // monolithic `access` the old path made.
+    let mut lcg_f = 0x9E37_79B9u64;
+    bench.bench("l1_hit_flat", || {
+        lcg_f = lcg_f.wrapping_mul(6364136223846793005).wrapping_add(1);
+        l1_flat.probe((lcg_f >> 32) % resident * 64, lcg_f & 1 == 0)
+    });
+    let mut lcg_r = 0x9E37_79B9u64;
+    bench.bench("l1_hit_ref", || {
+        lcg_r = lcg_r.wrapping_mul(6364136223846793005).wrapping_add(1);
+        l1_ref.access((lcg_r >> 32) % resident * 64, lcg_r & 1 == 0)
+    });
+
+    // Miss-walk loop: an always-missing store stream over 8x the reach
+    // of a small cache, so every access scans a full set, evicts the LRU
+    // way, and (for stores) produces dirty writebacks.
+    let mut mw_flat = SramCache::new(16 << 10, 8);
+    let mut mw_ref = RefSramCache::new(16 << 10, 8);
+    let mw_blocks = (16u64 << 10) / 64 * 8;
+    let mut mw_next_f = 0u64;
+    bench.bench("miss_walk_flat", || {
+        let addr = mw_next_f % mw_blocks * 64;
+        mw_next_f += 1;
+        mw_flat.access(addr, true)
+    });
+    let mut mw_next_r = 0u64;
+    bench.bench("miss_walk_ref", || {
+        let addr = mw_next_r % mw_blocks * 64;
+        mw_next_r += 1;
+        mw_ref.access(addr, true)
+    });
+
+    // TLB probe: the shipped 1536-entry / 6-way geometry under a
+    // resident vpn stream — every lookup hits, timing the probe +
+    // promotion path the combined fast path executes per access.
+    let mut tlb_flat = Tlb::new(1536, 6);
+    let mut tlb_ref = RefTlb::new(1536, 6);
+    let vpns: u64 = 768; // half-resident
+    for v in 0..vpns {
+        tlb_flat.access(v);
+        tlb_ref.access(v);
+    }
+    let mut tlcg_f = 0x2545_F491u64;
+    bench.bench("tlb_probe_flat", || {
+        tlcg_f = tlcg_f.wrapping_mul(6364136223846793005).wrapping_add(1);
+        tlb_flat.probe((tlcg_f >> 32) % vpns)
+    });
+    let mut tlcg_r = 0x2545_F491u64;
+    bench.bench("tlb_probe_ref", || {
+        tlcg_r = tlcg_r.wrapping_mul(6364136223846793005).wrapping_add(1);
+        tlb_ref.access((tlcg_r >> 32) % vpns)
+    });
+
+    // Combined access path: the fused TLB-hit + L1-hit sequence
+    // `do_access` executes for the dominant case, against the reference
+    // composition it replaced. The resident set is page-strided — one
+    // block per page — so it exactly fills the L1 (128 sets x 4 ways)
+    // while spreading translations across the TLB's sets, exercising
+    // both probes rather than hammering a handful of hot pages.
+    let mut cmb_flat_tlb = Tlb::new(1536, 6);
+    let mut cmb_flat_l1 = SramCache::new(64 << 10, 4);
+    let mut cmb_ref_tlb = RefTlb::new(1536, 6);
+    let mut cmb_ref_l1 = RefSramCache::new(64 << 10, 4);
+    let cmb_addr = |i: u64| i * 4096 + (i % 64) * 64;
+    for i in 0..resident {
+        cmb_flat_tlb.access(cmb_addr(i) / 4096);
+        cmb_ref_tlb.access(cmb_addr(i) / 4096);
+        cmb_flat_l1.access(cmb_addr(i), false);
+        cmb_ref_l1.access(cmb_addr(i), false);
+    }
+    let mut clcg_f = 0x4528_21E6u64;
+    bench.bench("access_path_flat", || {
+        clcg_f = clcg_f.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let addr = cmb_addr((clcg_f >> 32) % resident);
+        cmb_flat_tlb.probe(addr / 4096) && cmb_flat_l1.probe(addr, clcg_f & 1 == 0)
+    });
+    let mut clcg_r = 0x4528_21E6u64;
+    bench.bench("access_path_ref", || {
+        clcg_r = clcg_r.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let addr = cmb_addr((clcg_r >> 32) % resident);
+        let _ = cmb_ref_tlb.access(addr / 4096);
+        cmb_ref_l1.access(addr, clcg_r & 1 == 0).is_hit()
+    });
+
     vec![
         Pair {
             name: "event_queue_churn",
@@ -177,6 +278,34 @@ fn run_microbenches(smoke: bool) -> Vec<Pair> {
             baseline_ns: median_of(&bench, "zipf_sample_formula"),
             optimized: "cached_cdf_table",
             optimized_ns: median_of(&bench, "zipf_sample_table"),
+        },
+        Pair {
+            name: "l1_hit_loop",
+            baseline: "vec_of_vecs_tick_lru",
+            baseline_ns: median_of(&bench, "l1_hit_ref"),
+            optimized: "flat_soa_order_word",
+            optimized_ns: median_of(&bench, "l1_hit_flat"),
+        },
+        Pair {
+            name: "miss_walk_loop",
+            baseline: "vec_of_vecs_tick_lru",
+            baseline_ns: median_of(&bench, "miss_walk_ref"),
+            optimized: "flat_soa_order_word",
+            optimized_ns: median_of(&bench, "miss_walk_flat"),
+        },
+        Pair {
+            name: "tlb_probe",
+            baseline: "vec_of_vecs_tick_lru",
+            baseline_ns: median_of(&bench, "tlb_probe_ref"),
+            optimized: "flat_soa_order_word",
+            optimized_ns: median_of(&bench, "tlb_probe_flat"),
+        },
+        Pair {
+            name: "access_path_combined",
+            baseline: "tick_lru_tlb_plus_l1",
+            baseline_ns: median_of(&bench, "access_path_ref"),
+            optimized: "fused_probe_fast_path",
+            optimized_ns: median_of(&bench, "access_path_flat"),
         },
     ]
 }
@@ -229,7 +358,7 @@ fn num(v: f64) -> String {
 fn render_json(mode: &str, pairs: &[Pair], cells: &[FigureCell]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"BENCH_3\",");
+    let _ = writeln!(s, "  \"bench\": \"BENCH_4\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     s.push_str("  \"microbenches\": [\n");
     for (i, p) in pairs.iter().enumerate() {
@@ -288,15 +417,15 @@ fn main() -> ExitCode {
 
     let out = render_json(mode, &pairs, &cells);
     if let Err(e) = json::validate(&out) {
-        eprintln!("error: BENCH_3.json failed validation: {e}");
+        eprintln!("error: BENCH_4.json failed validation: {e}");
         return ExitCode::FAILURE;
     }
     if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/BENCH_3.json", &out))
+        .and_then(|()| std::fs::write("results/BENCH_4.json", &out))
     {
-        eprintln!("error: writing results/BENCH_3.json: {e}");
+        eprintln!("error: writing results/BENCH_4.json: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote results/BENCH_3.json ({} bytes)", out.len());
+    println!("wrote results/BENCH_4.json ({} bytes)", out.len());
     ExitCode::SUCCESS
 }

@@ -201,6 +201,21 @@ impl RunReport {
         metrics.set_count("flash_writebacks", stats.flash_writebacks);
         metrics.set_float("service_cv", stats.service_stats.coefficient_of_variation());
         metrics.set_float("miss_interval_us", miss_interval_us);
+        // Per-level on-chip + TLB hit-rate breakdown, with the raw
+        // access counts so rates can be re-weighted across runs.
+        metrics.set_float("l1_hit_rate", stats.l1_hit_rate());
+        metrics.set_float("l2_hit_rate", stats.l2_hit_rate());
+        metrics.set_float("llc_hit_rate", stats.llc_hit_rate());
+        metrics.set_float("tlb_hit_rate", stats.tlb_hit_rate());
+        metrics.set_count(
+            "l1_accesses",
+            stats.level_totals.l1_hits + stats.level_totals.l1_misses,
+        );
+        metrics.set_count(
+            "llc_accesses",
+            stats.level_totals.llc_hits + stats.level_totals.llc_misses,
+        );
+        metrics.set_count("tlb_accesses", stats.tlb_hits + stats.tlb_misses);
 
         RunReport {
             configuration,

@@ -27,15 +27,14 @@ use astriflash_cpu::{ArchState, OooTiming, Privilege, Rob, StoreBuffer};
 use astriflash_flash::FlashDevice;
 use astriflash_mem::{
     BacksideController, BcAdmission, CacheHierarchy, DramBanks, DramCache, DramTimings,
-    HierarchyOutcome, ProbeOutcome, Waiter,
+    HierarchyOutcome, LevelTotals, ProbeOutcome, Waiter,
 };
-use astriflash_os::tlb::TlbResult;
 use astriflash_os::{PageTableWalker, Tlb};
 use astriflash_sim::{EventQueue, PageMap, SimDuration, SimRng, SimTime};
 use astriflash_stats::{Histogram, OnlineStats};
 use astriflash_trace::{Track, Tracer};
 use astriflash_uthread::{Completion, MissPark, NotificationQueue, Pick, Policy, Scheduler};
-use astriflash_workloads::{JobSpec, PoissonArrivals, WorkloadEngine, PAGE_SIZE};
+use astriflash_workloads::{JobSpec, MemoryAccess, PoissonArrivals, WorkloadEngine, PAGE_SIZE};
 
 use crate::config::{Configuration, SystemConfig};
 
@@ -184,6 +183,45 @@ pub struct SystemStats {
     /// Discrete events popped from the simulation queue over the whole
     /// run — the denominator for kernel-throughput (events/sec) metrics.
     pub events_processed: u64,
+    /// Chip-wide per-level on-chip hit/miss totals (private levels
+    /// summed over cores), for the hit-rate breakdown in reports.
+    pub level_totals: LevelTotals,
+    /// TLB hits summed over cores.
+    pub tlb_hits: u64,
+    /// TLB misses summed over cores.
+    pub tlb_misses: u64,
+}
+
+impl SystemStats {
+    /// Hit rate from a (hits, misses) pair; 0 when nothing was accessed.
+    fn rate(hits: u64, misses: u64) -> f64 {
+        let total = hits + misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// L1 hit rate across cores.
+    pub fn l1_hit_rate(&self) -> f64 {
+        Self::rate(self.level_totals.l1_hits, self.level_totals.l1_misses)
+    }
+
+    /// L2 hit rate across cores.
+    pub fn l2_hit_rate(&self) -> f64 {
+        Self::rate(self.level_totals.l2_hits, self.level_totals.l2_misses)
+    }
+
+    /// Shared-LLC hit rate.
+    pub fn llc_hit_rate(&self) -> f64 {
+        Self::rate(self.level_totals.llc_hits, self.level_totals.llc_misses)
+    }
+
+    /// TLB hit rate across cores.
+    pub fn tlb_hit_rate(&self) -> f64 {
+        Self::rate(self.tlb_hits, self.tlb_misses)
+    }
 }
 
 /// The composed full-system simulator.
@@ -235,6 +273,10 @@ pub struct SystemSim {
 struct GaugeWindow {
     dc_hits: u64,
     dc_misses: u64,
+    /// Previous-sample on-chip per-level totals (for windowed hit rates).
+    levels: LevelTotals,
+    tlb_hits: u64,
+    tlb_misses: u64,
     busy_ns: Vec<u64>,
     at: SimTime,
 }
@@ -465,8 +507,13 @@ impl SystemSim {
             service_stats: self.service_stats,
             park_ns: self.park_ns,
             flash_read_ns: self.flash_read_ns,
+            level_totals: self.hierarchy.level_totals(),
+            tlb_hits: 0,
+            tlb_misses: 0,
         };
         for c in &self.cores {
+            stats.tlb_hits += c.tlb.hits();
+            stats.tlb_misses += c.tlb.misses();
             stats.dram_cache_misses += c.stats.dram_cache_misses;
             stats.switches += c.stats.thread_switches;
             stats.switch_overhead_ns += c.stats.switch_overhead_ns;
@@ -548,6 +595,38 @@ impl SystemSim {
             self.tracer
                 .gauge(t, "dcache_hit_rate", 0, dh as f64 / (dh + dm) as f64);
         }
+        // Windowed per-level on-chip + TLB hit rates (same convention as
+        // dcache_hit_rate: no gauge when the window saw no accesses).
+        let levels = self.hierarchy.level_totals();
+        let prev = self.gauge_prev.levels;
+        let level_gauge = |name: &'static str, h: u64, m: u64| {
+            if h + m > 0 {
+                self.tracer.gauge(t, name, 0, h as f64 / (h + m) as f64);
+            }
+        };
+        level_gauge(
+            "l1_hit_rate",
+            levels.l1_hits - prev.l1_hits,
+            levels.l1_misses - prev.l1_misses,
+        );
+        level_gauge(
+            "l2_hit_rate",
+            levels.l2_hits - prev.l2_hits,
+            levels.l2_misses - prev.l2_misses,
+        );
+        level_gauge(
+            "llc_hit_rate",
+            levels.llc_hits - prev.llc_hits,
+            levels.llc_misses - prev.llc_misses,
+        );
+        let (tlb_h, tlb_m) = self.cores.iter().fold((0u64, 0u64), |(h, m), c| {
+            (h + c.tlb.hits(), m + c.tlb.misses())
+        });
+        level_gauge(
+            "tlb_hit_rate",
+            tlb_h - self.gauge_prev.tlb_hits,
+            tlb_m - self.gauge_prev.tlb_misses,
+        );
         let interval = now.saturating_since(self.gauge_prev.at).as_ns();
         for (i, core) in self.cores.iter().enumerate() {
             self.tracer
@@ -565,6 +644,9 @@ impl SystemSim {
         self.tracer.gauge(t, "jobs_done", 0, self.total_jobs as f64);
         self.gauge_prev.dc_hits = hits;
         self.gauge_prev.dc_misses = misses;
+        self.gauge_prev.levels = levels;
+        self.gauge_prev.tlb_hits = tlb_h;
+        self.gauge_prev.tlb_misses = tlb_m;
         for (i, core) in self.cores.iter().enumerate() {
             self.gauge_prev.busy_ns[i] = core.stats.busy_ns;
         }
@@ -776,7 +858,7 @@ impl SystemSim {
             // Fetch the next step of the job without holding the borrow.
             enum Step {
                 Compute(u64),
-                Access { addr: u64, is_write: bool },
+                Access(MemoryAccess),
                 JobDone,
             }
             let step = {
@@ -790,11 +872,7 @@ impl SystemSim {
                         th.compute_done = true;
                         Step::Compute(op.compute_ns)
                     } else if th.access_idx < op.accesses.len() {
-                        let a = op.accesses[th.access_idx];
-                        Step::Access {
-                            addr: a.addr,
-                            is_write: a.is_write,
-                        }
+                        Step::Access(op.accesses[th.access_idx])
                     } else {
                         th.op_idx += 1;
                         th.access_idx = 0;
@@ -810,8 +888,8 @@ impl SystemSim {
                     core.rob.advance(ns);
                     t += SimDuration::from_ns(ns);
                 }
-                Step::Access { addr, is_write } => {
-                    match self.do_access(core_id, slot, addr, is_write, t) {
+                Step::Access(access) => {
+                    match self.do_access(core_id, slot, access, t) {
                         AccessResult::Done(t2) => {
                             t = t2;
                             let th = self.cores[core_id].threads[slot]
@@ -875,25 +953,63 @@ impl SystemSim {
 
     /// Issues one memory access; returns the advanced time or suspends
     /// the core (thread parked or blocked).
+    ///
+    /// The dominant case — TLB hit then L1 hit — is resolved inline with
+    /// two masked probes ([`Tlb::probe`], [`CacheHierarchy::l1_probe`])
+    /// and no outcome enum; every counter and replacement decision along
+    /// that path is identical to the full walk below, which handles the
+    /// miss cases in the historical order (TLB fill before the page-table
+    /// walk, so a walk that suspends retries as a TLB hit).
     fn do_access(
         &mut self,
         core_id: usize,
         slot: usize,
-        addr: u64,
-        is_write: bool,
+        access: MemoryAccess,
         mut t: SimTime,
     ) -> AccessResult {
-        // 1. Address translation.
-        let vpn = addr / PAGE_SIZE;
-        if self.cores[core_id].tlb.access(vpn) == TlbResult::Miss {
-            match self.walk_page_table(core_id, slot, vpn, t) {
-                WalkResult::Done(t2) => t = t2,
-                WalkResult::Suspended => return AccessResult::Suspended,
+        let MemoryAccess {
+            addr,
+            vpn,
+            is_write,
+            ..
+        } = access;
+        if self.cores[core_id].tlb.probe(vpn) {
+            if self.hierarchy.l1_probe(core_id, addr, is_write) {
+                let timing = self.cores[core_id].timing;
+                let lat = self.hierarchy.config().l1_latency_ns;
+                t += SimDuration::from_ns(timing.effective_stall_ns(lat));
+                self.clear_forced(core_id, slot);
+                return AccessResult::Done(t);
             }
+            // Translation cached but L1 missed: finish the walk the L1
+            // probe started.
+            let outcome = self.hierarchy.miss_walk(core_id, addr, is_write);
+            return self.finish_access(core_id, slot, access, outcome, t);
+        }
+
+        // 1. Address translation (the TLB is filled before the walk, as
+        //    the hardware installs the walker's result).
+        self.cores[core_id].tlb.miss_fill(vpn);
+        match self.walk_page_table(core_id, slot, vpn, t) {
+            WalkResult::Done(t2) => t = t2,
+            WalkResult::Suspended => return AccessResult::Suspended,
         }
 
         // 2. On-chip hierarchy.
         let outcome = self.hierarchy.access(core_id, addr, is_write);
+        self.finish_access(core_id, slot, access, outcome, t)
+    }
+
+    /// Applies an on-chip outcome: charge the latency, then either finish
+    /// (hit) or continue off-chip (DRAM-only main memory or DRAM cache).
+    fn finish_access(
+        &mut self,
+        core_id: usize,
+        slot: usize,
+        access: MemoryAccess,
+        outcome: HierarchyOutcome,
+        mut t: SimTime,
+    ) -> AccessResult {
         let timing = self.cores[core_id].timing;
         match outcome {
             HierarchyOutcome::OnChipHit { latency_ns } => {
@@ -904,14 +1020,14 @@ impl SystemSim {
             HierarchyOutcome::OffChipMiss { latency_ns } => {
                 t += SimDuration::from_ns(timing.effective_stall_ns(latency_ns));
                 if self.configuration == Configuration::DramOnly {
-                    let row = addr / 8192;
+                    let row = access.addr / 8192;
                     let done = self.main_memory.access_row(t, row, 1);
                     let lat = done.saturating_since(t).as_ns();
                     t += SimDuration::from_ns(timing.effective_stall_ns(lat));
                     self.clear_forced(core_id, slot);
                     return AccessResult::Done(t);
                 }
-                self.dram_cache_access(core_id, slot, addr, is_write, t)
+                self.dram_cache_access(core_id, slot, access, t)
             }
         }
     }
@@ -931,14 +1047,13 @@ impl SystemSim {
         &mut self,
         core_id: usize,
         slot: usize,
-        addr: u64,
-        is_write: bool,
+        access: MemoryAccess,
         t: SimTime,
     ) -> AccessResult {
-        let page = addr / PAGE_SIZE;
-        let block = ((addr % PAGE_SIZE) / 64) as u32;
+        // Page and in-page block were pre-resolved at generation time.
+        let page = access.vpn;
         let timing = self.cores[core_id].timing;
-        match self.dram_cache.probe(t, page, block, is_write) {
+        match self.dram_cache.probe(t, page, access.block, access.is_write) {
             ProbeOutcome::Hit { done_at } => {
                 let lat = done_at.saturating_since(t).as_ns();
                 let t = t + SimDuration::from_ns(timing.effective_stall_ns(lat));
@@ -959,8 +1074,8 @@ impl SystemSim {
                 self.cores[core_id].stats.dram_cache_misses += 1;
                 // Resources for this request are reclaimed (§IV-C1): the
                 // speculatively filled block must not satisfy the retry.
-                self.hierarchy.invalidate_block(core_id, addr);
-                self.handle_miss(core_id, slot, page, addr, is_write, tag_check_done_at)
+                self.hierarchy.invalidate_block(core_id, access.addr);
+                self.handle_miss(core_id, slot, access, tag_check_done_at)
             }
         }
     }
@@ -969,11 +1084,15 @@ impl SystemSim {
         &mut self,
         core_id: usize,
         slot: usize,
-        page: u64,
-        addr: u64,
-        is_write: bool,
+        access: MemoryAccess,
         t: SimTime,
     ) -> AccessResult {
+        let MemoryAccess {
+            addr,
+            vpn: page,
+            is_write,
+            ..
+        } = access;
         // Open (or re-enter after an MSR-stall retry) this miss's trace
         // span; BC and flash emissions below attribute to it.
         let miss_span = if self.tracer.enabled() {
@@ -1003,8 +1122,7 @@ impl SystemSim {
         match self.bc.admit(t, page, waiter, &mut self.dram_cache) {
             BcAdmission::Duplicate => { /* read already in flight */ }
             BcAdmission::IssueFlashRead { issue_at } => {
-                let block = ((addr % PAGE_SIZE) / 64) as u32;
-                let bitmap = self.dram_cache.predict_footprint(page, block);
+                let bitmap = self.dram_cache.predict_footprint(page, access.block);
                 let bytes = bitmap.count_ones() as u64 * 64;
                 let done = self.flash.read_bytes(issue_at, page, bytes);
                 self.inflight_footprints.insert(page, bitmap);

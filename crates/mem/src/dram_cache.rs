@@ -119,7 +119,12 @@ pub struct DramCache {
 impl DramCache {
     /// Builds an empty (cold) cache.
     pub fn new(cfg: DramCacheConfig) -> Self {
-        let sets = vec![Vec::with_capacity(cfg.ways); cfg.num_sets() as usize];
+        // Built per-set: `vec![Vec::with_capacity(..); n]` clones an
+        // *empty* vector, dropping the capacity hint, so every set would
+        // reallocate on its first fills.
+        let sets = (0..cfg.num_sets())
+            .map(|_| Vec::with_capacity(cfg.ways))
+            .collect();
         let banks = DramBanks::new(cfg.banks, cfg.timings);
         DramCache {
             cfg,

@@ -83,6 +83,24 @@ impl HierarchyOutcome {
     }
 }
 
+/// Chip-wide per-level hit/miss counts (see
+/// [`CacheHierarchy::level_totals`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelTotals {
+    /// L1 hits summed over cores.
+    pub l1_hits: u64,
+    /// L1 misses summed over cores.
+    pub l1_misses: u64,
+    /// L2 hits summed over cores.
+    pub l2_hits: u64,
+    /// L2 misses summed over cores.
+    pub l2_misses: u64,
+    /// Shared-LLC hits.
+    pub llc_hits: u64,
+    /// Shared-LLC misses.
+    pub llc_misses: u64,
+}
+
 /// Per-core L1/L2 plus a chip-shared LLC.
 ///
 /// One instance models the whole chip: `access(core, …)` routes through
@@ -120,13 +138,38 @@ impl CacheHierarchy {
     }
 
     /// Runs one access through `core`'s hierarchy.
+    ///
+    /// The L1-hit common case is resolved inline — one masked index plus
+    /// a tag compare in [`SramCache::probe`] — before falling back to
+    /// the full [`CacheHierarchy::miss_walk`].
+    #[inline]
     pub fn access(&mut self, core: usize, addr: u64, is_write: bool) -> HierarchyOutcome {
-        let c = &self.cfg;
-        if self.l1[core].access(addr, is_write).is_hit() {
+        if self.l1[core].probe(addr, is_write) {
             return HierarchyOutcome::OnChipHit {
-                latency_ns: c.l1_latency_ns,
+                latency_ns: self.cfg.l1_latency_ns,
             };
         }
+        self.miss_walk(core, addr, is_write)
+    }
+
+    /// L1 hit-path probe for composed fast paths (e.g. the combined
+    /// TLB+L1 check in the system's `do_access`): returns whether `addr`
+    /// hit `core`'s L1 — state and counters update exactly as the hit
+    /// arm of [`CacheHierarchy::access`] — without constructing an
+    /// outcome. On `false` nothing was touched; the caller must finish
+    /// the access with [`CacheHierarchy::miss_walk`].
+    #[inline(always)]
+    pub fn l1_probe(&mut self, core: usize, addr: u64, is_write: bool) -> bool {
+        self.l1[core].probe(addr, is_write)
+    }
+
+    /// Continues an access whose L1 probe already missed: fills L1 and
+    /// walks L2 → LLC. Decision-equivalent to the tail of the historical
+    /// monolithic walk (L1 victims are dropped, not written through —
+    /// each level's writeback counter still accounts them).
+    pub fn miss_walk(&mut self, core: usize, addr: u64, is_write: bool) -> HierarchyOutcome {
+        let c = &self.cfg;
+        let _ = self.l1[core].miss_fill(addr, is_write);
         if self.l2[core].access(addr, is_write).is_hit() {
             return HierarchyOutcome::OnChipHit {
                 latency_ns: c.l1_latency_ns + c.l2_latency_ns,
@@ -211,6 +254,31 @@ impl CacheHierarchy {
     /// A core's L1 (for stats inspection).
     pub fn l1(&self, core: usize) -> &SramCache {
         &self.l1[core]
+    }
+
+    /// A core's private L2 (for stats inspection).
+    pub fn l2(&self, core: usize) -> &SramCache {
+        &self.l2[core]
+    }
+
+    /// Chip-wide hit/miss totals per level (private levels summed over
+    /// cores) — the observable behind the per-level hit-rate breakdown.
+    pub fn level_totals(&self) -> LevelTotals {
+        let sum = |caches: &[SramCache]| {
+            caches.iter().fold((0u64, 0u64), |(h, m), c| {
+                (h + c.hits(), m + c.misses())
+            })
+        };
+        let (l1_hits, l1_misses) = sum(&self.l1);
+        let (l2_hits, l2_misses) = sum(&self.l2);
+        LevelTotals {
+            l1_hits,
+            l1_misses,
+            l2_hits,
+            l2_misses,
+            llc_hits: self.llc.hits(),
+            llc_misses: self.llc.misses(),
+        }
     }
 
     /// The configuration in use.

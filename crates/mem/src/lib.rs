@@ -23,12 +23,14 @@ pub mod hierarchy;
 pub mod msr;
 pub mod page_cache;
 pub mod sram_cache;
+pub mod sram_cache_ref;
 
 pub use backside::{BacksideController, BcAdmission, Waiter};
 pub use dram::{DramBanks, DramTimings};
 pub use dram_cache::{DramCache, DramCacheConfig, ProbeOutcome};
 pub use footprint::FootprintPredictor;
-pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyOutcome};
+pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyOutcome, LevelTotals};
 pub use msr::MissStatusRow;
 pub use page_cache::PageLru;
 pub use sram_cache::{AccessResult, SramCache};
+pub use sram_cache_ref::RefSramCache;

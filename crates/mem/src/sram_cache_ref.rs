@@ -1,0 +1,170 @@
+//! The pre-flattening `Vec<Vec<Line>>` SRAM cache, retained verbatim as
+//! the differential-test reference for [`crate::sram_cache::SramCache`]
+//! (the same pattern as the kernel's `HeapEventQueue` vs timer wheel).
+//!
+//! Replacement here is true LRU over an ever-growing per-access tick;
+//! the flat cache encodes the identical recency *ordering* in a packed
+//! order word, so both must agree on every hit/miss/victim/writeback
+//! decision — `crates/mem/tests/memory_path_differential.rs` drives
+//! both over randomized access sequences and asserts exactly that.
+//!
+//! The one deliberate difference from the historical code: set vectors
+//! are built per-set instead of via `vec![Vec::with_capacity(..); n]`,
+//! which cloned an *empty* vector and silently dropped the capacity
+//! hint, so every set reallocated on first fill.
+
+use crate::sram_cache::AccessResult;
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Tick-based true-LRU set-associative cache (reference only).
+#[derive(Debug, Clone)]
+pub struct RefSramCache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+    set_mask: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+const BLOCK_SHIFT: u32 = 6; // 64 B blocks
+
+impl RefSramCache {
+    /// Creates a cache of `capacity_bytes` with `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two number of sets or if
+    /// capacity is smaller than one way of blocks.
+    pub fn new(capacity_bytes: u64, ways: usize) -> Self {
+        assert!(ways > 0);
+        let blocks = capacity_bytes >> BLOCK_SHIFT;
+        assert!(blocks >= ways as u64, "capacity below one set");
+        let num_sets = (blocks / ways as u64).next_power_of_two();
+        let num_sets = if num_sets * (ways as u64) > blocks {
+            num_sets / 2
+        } else {
+            num_sets
+        }
+        .max(1);
+        RefSramCache {
+            sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            set_mask: num_sets - 1,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn index_tag(&self, addr: u64) -> (usize, u64) {
+        let block = addr >> BLOCK_SHIFT;
+        ((block & self.set_mask) as usize, block)
+    }
+
+    /// Accesses `addr`; on a miss the block is filled (write-allocate).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let (idx, tag) = self.index_tag(addr);
+        let ways = self.ways;
+        let set = &mut self.sets[idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = tick;
+            line.dirty |= is_write;
+            self.hits += 1;
+            return AccessResult::Hit;
+        }
+        self.misses += 1;
+        let mut evicted_dirty = None;
+        if set.len() >= ways {
+            let victim_pos = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("full set has a victim");
+            let victim = set.swap_remove(victim_pos);
+            if victim.dirty {
+                self.writebacks += 1;
+                evicted_dirty = Some(victim.tag << BLOCK_SHIFT);
+            }
+        }
+        set.push(Line {
+            tag,
+            dirty: is_write,
+            lru: tick,
+        });
+        AccessResult::Miss { evicted_dirty }
+    }
+
+    /// Whether `addr`'s block is present (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let (idx, tag) = self.index_tag(addr);
+        self.sets[idx].iter().any(|l| l.tag == tag)
+    }
+
+    /// Invalidates `addr`'s block if present; returns whether it was
+    /// dirty.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let (idx, tag) = self.index_tag(addr);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            set.swap_remove(pos).dirty
+        } else {
+            false
+        }
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty writebacks produced.
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_hint_survives_construction() {
+        // The historical `vec![Vec::with_capacity(ways); n]` cloned an
+        // empty Vec and lost the hint; the per-set build must keep it.
+        let c = RefSramCache::new(4096, 4);
+        assert!(c.sets.iter().all(|s| s.capacity() >= 4));
+    }
+
+    #[test]
+    fn behaves_like_a_cache() {
+        let mut c = RefSramCache::new(4096, 2);
+        assert!(!c.access(0x40, true).is_hit());
+        assert!(c.access(0x40, false).is_hit());
+        assert!(c.invalidate(0x40), "was dirty");
+        assert!(!c.contains(0x40));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+}

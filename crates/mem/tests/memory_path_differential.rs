@@ -1,0 +1,98 @@
+//! Differential property tests proving the flat struct-of-arrays
+//! [`SramCache`] is decision-identical to the retained `Vec<Vec<Line>>`
+//! tick-LRU reference ([`RefSramCache`]) — hits, dirty writebacks, and
+//! victim addresses all equal over randomized access/eviction/
+//! invalidation sequences. This is the contract that keeps every golden
+//! figure byte-identical across the memory-path flattening.
+
+use astriflash_mem::{AccessResult, RefSramCache, SramCache};
+use astriflash_testkit::prop_check;
+
+#[test]
+fn flat_cache_matches_reference_on_random_sequences() {
+    prop_check!(cases: 96, |g| {
+        // Small geometries keep sets hot so evictions are constant.
+        let ways = g.usize_in(1..17);
+        let sets_pow = g.u32_in(0..5); // 1..16 sets
+        let capacity = (ways as u64) * 64 * (1u64 << sets_pow);
+        let mut flat = SramCache::new(capacity, ways);
+        let mut reference = RefSramCache::new(capacity, ways);
+        assert_eq!(flat.num_sets(), reference.num_sets());
+
+        // Confine addresses to a few times the cache's reach so the mix
+        // of hits, cold fills, and capacity evictions is dense.
+        let blocks = g.u64_in(1..(flat.num_sets() as u64 * ways as u64 * 4 + 2));
+        for _ in 0..g.usize_in(50..400) {
+            let addr = g.u64_in(0..blocks) * 64 + g.u64_in(0..64);
+            match g.u64_in(0..10) {
+                0 => {
+                    // Occasional invalidation (miss-signal reclamation).
+                    assert_eq!(
+                        flat.invalidate(addr),
+                        reference.invalidate(addr),
+                        "invalidate({addr:#x}) dirtiness diverged"
+                    );
+                }
+                1 => {
+                    assert_eq!(
+                        flat.contains(addr),
+                        reference.contains(addr),
+                        "contains({addr:#x}) diverged"
+                    );
+                }
+                n => {
+                    let is_write = n >= 7;
+                    let a = flat.access(addr, is_write);
+                    let b = reference.access(addr, is_write);
+                    assert_eq!(a, b, "access({addr:#x}, write={is_write}) diverged");
+                }
+            }
+        }
+        assert_eq!(flat.hits(), reference.hits());
+        assert_eq!(flat.misses(), reference.misses());
+        assert_eq!(flat.writebacks(), reference.writebacks());
+    });
+}
+
+/// The split probe/miss_fill fast path composes to the same decisions as
+/// the monolithic access, against the reference, including victims.
+#[test]
+fn split_fast_path_matches_reference() {
+    prop_check!(cases: 48, |g| {
+        let ways = g.usize_in(1..9);
+        let capacity = ways as u64 * 64 * 4; // 4 sets
+        let mut flat = SramCache::new(capacity, ways);
+        let mut reference = RefSramCache::new(capacity, ways);
+        let blocks = flat.num_sets() as u64 * ways as u64 * 3;
+        for _ in 0..200 {
+            let addr = g.u64_in(0..blocks) * 64;
+            let is_write = g.any_bool();
+            let split = if flat.probe(addr, is_write) {
+                AccessResult::Hit
+            } else {
+                AccessResult::Miss {
+                    evicted_dirty: flat.miss_fill(addr, is_write),
+                }
+            };
+            assert_eq!(split, reference.access(addr, is_write));
+        }
+        assert_eq!(flat.writebacks(), reference.writebacks());
+    });
+}
+
+/// Single-way (direct-mapped) and 16-way (LLC-shaped) extremes behave.
+#[test]
+fn geometry_extremes_match_reference() {
+    for ways in [1usize, 16] {
+        let capacity = ways as u64 * 64 * 2;
+        let mut flat = SramCache::new(capacity, ways);
+        let mut reference = RefSramCache::new(capacity, ways);
+        for i in 0..500u64 {
+            let addr = (i * 37 % 64) * 64;
+            let w = i % 3 == 0;
+            assert_eq!(flat.access(addr, w), reference.access(addr, w), "i={i}");
+        }
+        assert_eq!(flat.hits(), reference.hits());
+        assert_eq!(flat.writebacks(), reference.writebacks());
+    }
+}

@@ -1,4 +1,12 @@
 //! A set-associative TLB over 4 KiB pages.
+//!
+//! Flattened like the SRAM caches (DESIGN.md §10): one contiguous `vpns`
+//! slab in struct-of-arrays layout, a per-set occupancy count, and a
+//! packed per-set recency-order word (4-bit way ids, MRU at nibble 0)
+//! replacing the historical per-entry 64-bit LRU tick. The encoding
+//! preserves the exact recency ordering, so every hit/miss/victim
+//! decision matches [`crate::tlb_ref::RefTlb`] — proven by the
+//! differential property test in `crates/os/tests/tlb_differential.rs`.
 
 /// TLB access outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -10,10 +18,27 @@ pub enum TlbResult {
     Miss,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct TlbEntry {
-    vpn: u64,
-    lru: u64,
+/// Sentinel for an empty entry. Real vpns are `addr / 4096` ≤ 2⁵², so
+/// the all-ones pattern can never collide.
+const INVALID_VPN: u64 = u64::MAX;
+
+/// Position of the lowest nibble of `word` equal to `nib` (the caller
+/// guarantees one exists among the occupied low nibbles).
+#[inline(always)]
+fn nibble_pos(word: u64, nib: u64) -> u32 {
+    const ONES: u64 = 0x1111_1111_1111_1111;
+    let x = word ^ ONES.wrapping_mul(nib);
+    let zero = x.wrapping_sub(ONES) & !x & (ONES << 3);
+    debug_assert!(zero != 0, "way {nib:#x} not present in order {word:#x}");
+    zero.trailing_zeros() >> 2
+}
+
+/// Removes the nibble at position `pos`, shifting higher nibbles down.
+#[inline(always)]
+fn nibble_remove(word: u64, pos: u32) -> u64 {
+    let shift = pos * 4;
+    let below = word & ((1u64 << shift) - 1);
+    ((word >> shift >> 4) << shift) | below
 }
 
 /// A unified second-level TLB model (the first level is folded into the
@@ -29,9 +54,18 @@ struct TlbEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Tlb {
-    sets: Vec<Vec<TlbEntry>>,
+    /// Entry slab, `num_sets × ways`; [`INVALID_VPN`] marks empty slots.
+    vpns: Box<[u64]>,
+    /// Packed recency order per set (nibble 0 = MRU way id).
+    order: Box<[u64]>,
+    /// Occupied ways per set.
+    len: Box<[u8]>,
+    num_sets: usize,
+    /// `num_sets - 1` when the set count is a power of two (masked
+    /// index), 0 otherwise (modulo fallback — `num_sets == 1` also
+    /// lands here and the mask is correct by accident: `vpn & 0 == 0`).
+    set_mask: u64,
     ways: usize,
-    tick: u64,
     hits: u64,
     misses: u64,
     invalidations: u64,
@@ -43,62 +77,121 @@ impl Tlb {
     ///
     /// # Panics
     ///
-    /// Panics if `entries < ways` or `ways == 0`.
+    /// Panics if `entries < ways`, `ways == 0`, or `ways > 16` (the
+    /// packed recency-order word holds sixteen 4-bit way ids).
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(ways > 0 && entries >= ways);
-        let sets = (entries / ways).max(1);
+        assert!(ways <= 16, "packed recency order supports at most 16 ways");
+        let num_sets = (entries / ways).max(1);
         Tlb {
-            sets: vec![Vec::with_capacity(ways); sets],
+            vpns: vec![INVALID_VPN; num_sets * ways].into_boxed_slice(),
+            order: vec![0u64; num_sets].into_boxed_slice(),
+            len: vec![0u8; num_sets].into_boxed_slice(),
+            num_sets,
+            set_mask: if num_sets.is_power_of_two() {
+                num_sets as u64 - 1
+            } else {
+                0
+            },
             ways,
-            tick: 0,
             hits: 0,
             misses: 0,
             invalidations: 0,
         }
     }
 
+    #[inline(always)]
     fn set_of(&self, vpn: u64) -> usize {
-        (vpn % self.sets.len() as u64) as usize
+        if self.set_mask != 0 {
+            (vpn & self.set_mask) as usize
+        } else {
+            (vpn % self.num_sets as u64) as usize
+        }
+    }
+
+    /// Hit-path probe: masked set index plus a contiguous vpn compare.
+    /// On a hit the entry is promoted to MRU and the hit is counted; on
+    /// a miss *nothing* is touched — finish with [`Tlb::miss_fill`].
+    #[inline(always)]
+    pub fn probe(&mut self, vpn: u64) -> bool {
+        let idx = self.set_of(vpn);
+        let base = idx * self.ways;
+        // Branchless scan (early exits mispredict on random positions).
+        let row = &self.vpns[base..base + self.ways];
+        let mut way = usize::MAX;
+        for (w, &v) in row.iter().enumerate() {
+            if v == vpn {
+                way = w;
+            }
+        }
+        if way == usize::MAX {
+            return false;
+        }
+        // MRU promotion; for an already-MRU hit the splice is the
+        // identity, so no special case is needed.
+        let word = self.order[idx];
+        let pos = nibble_pos(word, way as u64);
+        self.order[idx] = (nibble_remove(word, pos) << 4) | way as u64;
+        self.hits += 1;
+        true
+    }
+
+    /// Miss path: counts the miss and installs `vpn` as MRU, evicting
+    /// the set's LRU entry when full. Must only be called after
+    /// [`Tlb::probe`] returned `false` for `vpn`.
+    pub fn miss_fill(&mut self, vpn: u64) {
+        self.misses += 1;
+        let idx = self.set_of(vpn);
+        let base = idx * self.ways;
+        let n = self.len[idx] as usize;
+        let slot = if n >= self.ways {
+            let word = self.order[idx];
+            let victim = ((word >> ((n as u32 - 1) * 4)) & 0xF) as usize;
+            self.order[idx] = (word << 4) | victim as u64;
+            victim
+        } else {
+            let mut free = usize::MAX;
+            for w in (0..self.ways).rev() {
+                if self.vpns[base + w] == INVALID_VPN {
+                    free = w;
+                }
+            }
+            debug_assert!(free != usize::MAX, "len < ways but no free slot");
+            self.len[idx] = (n + 1) as u8;
+            self.order[idx] = (self.order[idx] << 4) | free as u64;
+            free
+        };
+        self.vpns[base + slot] = vpn;
     }
 
     /// Looks up `vpn`, filling on miss.
+    #[inline]
     pub fn access(&mut self, vpn: u64) -> TlbResult {
-        self.tick += 1;
-        let tick = self.tick;
-        let ways = self.ways;
-        let set_idx = self.set_of(vpn);
-        let set = &mut self.sets[set_idx];
-        if let Some(e) = set.iter_mut().find(|e| e.vpn == vpn) {
-            e.lru = tick;
-            self.hits += 1;
-            return TlbResult::Hit;
+        if self.probe(vpn) {
+            TlbResult::Hit
+        } else {
+            self.miss_fill(vpn);
+            TlbResult::Miss
         }
-        self.misses += 1;
-        if set.len() >= ways {
-            let pos = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .map(|(i, _)| i)
-                .expect("full set");
-            set.swap_remove(pos);
-        }
-        set.push(TlbEntry { vpn, lru: tick });
-        TlbResult::Miss
     }
 
     /// Invalidates `vpn` (one shootdown target). Returns whether it was
     /// present.
     pub fn invalidate(&mut self, vpn: u64) -> bool {
-        let set_idx = self.set_of(vpn);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|e| e.vpn == vpn) {
-            set.swap_remove(pos);
-            self.invalidations += 1;
-            true
-        } else {
-            false
-        }
+        let idx = self.set_of(vpn);
+        let base = idx * self.ways;
+        let Some(way) = self.vpns[base..base + self.ways]
+            .iter()
+            .position(|&v| v == vpn)
+        else {
+            return false;
+        };
+        self.vpns[base + way] = INVALID_VPN;
+        let pos = nibble_pos(self.order[idx], way as u64);
+        self.order[idx] = nibble_remove(self.order[idx], pos);
+        self.len[idx] -= 1;
+        self.invalidations += 1;
+        true
     }
 
     /// Hit count.
@@ -161,5 +254,48 @@ mod tests {
         assert!(!tlb.invalidate(7));
         assert_eq!(tlb.access(7), TlbResult::Miss);
         assert_eq!(tlb.invalidations(), 1);
+    }
+
+    #[test]
+    fn probe_then_miss_fill_equals_access() {
+        let mut a = Tlb::new(4, 2);
+        let mut b = Tlb::new(4, 2);
+        for vpn in [0u64, 2, 0, 4, 2, 6, 0, 8] {
+            let via_access = b.access(vpn);
+            let via_split = if a.probe(vpn) {
+                TlbResult::Hit
+            } else {
+                a.miss_fill(vpn);
+                TlbResult::Miss
+            };
+            assert_eq!(via_access, via_split, "vpn {vpn}");
+        }
+        assert_eq!(a.hits(), b.hits());
+        assert_eq!(a.misses(), b.misses());
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_uses_modulo() {
+        // 18 entries / 6 ways = 3 sets: the modulo path.
+        let mut tlb = Tlb::new(18, 6);
+        for vpn in 0..9u64 {
+            assert_eq!(tlb.access(vpn), TlbResult::Miss);
+        }
+        for vpn in 0..9u64 {
+            assert_eq!(tlb.access(vpn), TlbResult::Hit, "vpn {vpn}");
+        }
+    }
+
+    #[test]
+    fn refill_after_invalidate_reuses_the_freed_slot() {
+        let mut tlb = Tlb::new(8, 4); // 2 sets × 4 ways
+        for vpn in [0u64, 2, 4, 6] {
+            tlb.access(vpn); // fills set 0
+        }
+        tlb.invalidate(2);
+        tlb.access(8); // must take the hole, evicting nobody
+        for vpn in [0u64, 4, 6, 8] {
+            assert_eq!(tlb.access(vpn), TlbResult::Hit, "vpn {vpn} lost");
+        }
     }
 }

@@ -1,0 +1,126 @@
+//! The pre-flattening `Vec<Vec<TlbEntry>>` TLB, retained verbatim as the
+//! differential-test reference for [`crate::tlb::Tlb`] (the same pattern
+//! as the kernel's `HeapEventQueue` vs timer wheel).
+//!
+//! The one deliberate difference from the historical code: set vectors
+//! are built per-set instead of via `vec![Vec::with_capacity(..); n]`,
+//! which cloned an *empty* vector and silently dropped the capacity
+//! hint, so every set reallocated on first fill.
+
+use crate::tlb::TlbResult;
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpn: u64,
+    lru: u64,
+}
+
+/// Tick-based true-LRU set-associative TLB (reference only).
+#[derive(Debug, Clone)]
+pub struct RefTlb {
+    sets: Vec<Vec<TlbEntry>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl RefTlb {
+    /// Creates a TLB of `entries` total with `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < ways` or `ways == 0`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries >= ways);
+        let sets = (entries / ways).max(1);
+        RefTlb {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    fn set_of(&self, vpn: u64) -> usize {
+        (vpn % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `vpn`, filling on miss.
+    pub fn access(&mut self, vpn: u64) -> TlbResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_of(vpn);
+        let set = &mut self.sets[set_idx];
+        if let Some(e) = set.iter_mut().find(|e| e.vpn == vpn) {
+            e.lru = tick;
+            self.hits += 1;
+            return TlbResult::Hit;
+        }
+        self.misses += 1;
+        if set.len() >= ways {
+            let pos = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("full set");
+            set.swap_remove(pos);
+        }
+        set.push(TlbEntry { vpn, lru: tick });
+        TlbResult::Miss
+    }
+
+    /// Invalidates `vpn`; returns whether it was present.
+    pub fn invalidate(&mut self, vpn: u64) -> bool {
+        let set_idx = self.set_of(vpn);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.vpn == vpn) {
+            set.swap_remove(pos);
+            self.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidations performed.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_hint_survives_construction() {
+        let t = RefTlb::new(16, 4);
+        assert!(t.sets.iter().all(|s| s.capacity() >= 4));
+    }
+
+    #[test]
+    fn behaves_like_a_tlb() {
+        let mut t = RefTlb::new(16, 4);
+        assert_eq!(t.access(3), TlbResult::Miss);
+        assert_eq!(t.access(3), TlbResult::Hit);
+        assert!(t.invalidate(3));
+        assert_eq!(t.access(3), TlbResult::Miss);
+        assert_eq!(t.invalidations(), 1);
+    }
+}

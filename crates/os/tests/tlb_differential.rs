@@ -1,0 +1,94 @@
+//! Differential property tests proving the flat struct-of-arrays [`Tlb`]
+//! is decision-identical to the retained `Vec<Vec<TlbEntry>>` tick-LRU
+//! reference ([`RefTlb`]): every hit/miss outcome, every invalidation
+//! result, and the running counters agree over randomized sequences,
+//! across both power-of-two (masked index) and non-power-of-two (modulo)
+//! set counts.
+
+use astriflash_os::tlb::TlbResult;
+use astriflash_os::{RefTlb, Tlb};
+use astriflash_testkit::prop_check;
+
+#[test]
+fn flat_tlb_matches_reference_on_random_sequences() {
+    prop_check!(cases: 96, |g| {
+        let ways = g.usize_in(1..17);
+        // Sets 1..24 — mixes masked and modulo index paths.
+        let sets = g.usize_in(1..24);
+        let entries = sets * ways;
+        let mut flat = Tlb::new(entries, ways);
+        let mut reference = RefTlb::new(entries, ways);
+
+        // Confine vpns so sets churn: hits, cold fills, and evictions.
+        let vpns = g.u64_in(1..(entries as u64 * 4 + 2));
+        for _ in 0..g.usize_in(50..400) {
+            let vpn = g.u64_in(0..vpns);
+            if g.bool_p(0.1) {
+                assert_eq!(
+                    flat.invalidate(vpn),
+                    reference.invalidate(vpn),
+                    "invalidate({vpn}) diverged"
+                );
+            } else {
+                assert_eq!(
+                    flat.access(vpn),
+                    reference.access(vpn),
+                    "access({vpn}) diverged"
+                );
+            }
+        }
+        assert_eq!(flat.hits(), reference.hits());
+        assert_eq!(flat.misses(), reference.misses());
+        assert_eq!(flat.invalidations(), reference.invalidations());
+    });
+}
+
+/// The split probe/miss_fill fast path composes to the reference's
+/// access decisions, with identical counters.
+#[test]
+fn split_fast_path_matches_reference() {
+    prop_check!(cases: 48, |g| {
+        let ways = g.usize_in(1..9);
+        let sets = g.usize_in(1..6);
+        let mut flat = Tlb::new(sets * ways, ways);
+        let mut reference = RefTlb::new(sets * ways, ways);
+        let vpns = (sets * ways) as u64 * 3;
+        for _ in 0..200 {
+            let vpn = g.u64_in(0..vpns);
+            let split = if flat.probe(vpn) {
+                TlbResult::Hit
+            } else {
+                flat.miss_fill(vpn);
+                TlbResult::Miss
+            };
+            assert_eq!(split, reference.access(vpn), "vpn {vpn} diverged");
+        }
+        assert_eq!(flat.hits(), reference.hits());
+        assert_eq!(flat.misses(), reference.misses());
+    });
+}
+
+/// The shipped geometry (1536 entries, 6 ways — a 256-set masked index)
+/// agrees with the reference under a shootdown-heavy mix.
+#[test]
+fn shipped_geometry_matches_reference() {
+    let mut flat = Tlb::new(1536, 6);
+    let mut reference = RefTlb::new(1536, 6);
+    for i in 0..20_000u64 {
+        let vpn = (i * 2654435761) % 4096;
+        if i % 13 == 0 {
+            assert_eq!(flat.invalidate(vpn), reference.invalidate(vpn), "i={i}");
+        } else {
+            assert_eq!(flat.access(vpn), reference.access(vpn), "i={i}");
+        }
+    }
+    assert_eq!(flat.hits(), reference.hits());
+    assert_eq!(flat.misses(), reference.misses());
+    assert_eq!(flat.invalidations(), reference.invalidations());
+    assert!((flat.miss_ratio() - {
+        let t = (reference.hits() + reference.misses()) as f64;
+        reference.misses() as f64 / t
+    })
+    .abs()
+        < 1e-12);
+}

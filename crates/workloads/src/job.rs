@@ -6,13 +6,25 @@
 //! executes operations in order; the memory hierarchy decides which
 //! accesses stall the core or trigger thread switches.
 
+use crate::address_space::{BLOCK_SIZE, PAGE_SIZE};
 use astriflash_sim::SimRng;
 
 /// One block-granular memory reference.
+///
+/// The translation-relevant decompositions of `addr` are resolved once
+/// at generation time rather than per simulated access: the core's hot
+/// loop replays each access many times (thread switches, MSHR retries,
+/// DRAM-cache probes) and previously re-derived the page and block
+/// numbers with two divisions each time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoryAccess {
     /// Simulated byte address.
     pub addr: u64,
+    /// Pre-resolved virtual page number, `addr / PAGE_SIZE`.
+    pub vpn: u64,
+    /// Pre-resolved block index within the page,
+    /// `(addr % PAGE_SIZE) / BLOCK_SIZE`.
+    pub block: u32,
     /// Whether the reference is a store.
     pub is_write: bool,
 }
@@ -22,6 +34,8 @@ impl MemoryAccess {
     pub fn read(addr: u64) -> Self {
         MemoryAccess {
             addr,
+            vpn: addr / PAGE_SIZE,
+            block: ((addr % PAGE_SIZE) / BLOCK_SIZE) as u32,
             is_write: false,
         }
     }
@@ -30,6 +44,8 @@ impl MemoryAccess {
     pub fn write(addr: u64) -> Self {
         MemoryAccess {
             addr,
+            vpn: addr / PAGE_SIZE,
+            block: ((addr % PAGE_SIZE) / BLOCK_SIZE) as u32,
             is_write: true,
         }
     }
@@ -141,5 +157,19 @@ mod tests {
     fn access_constructors() {
         assert!(!MemoryAccess::read(5).is_write);
         assert!(MemoryAccess::write(5).is_write);
+    }
+
+    #[test]
+    fn pre_resolved_fields_match_recomputation() {
+        for addr in [0u64, 63, 64, 4095, 4096, 4160, 7 * 4096 + 3 * 64 + 9] {
+            for a in [MemoryAccess::read(addr), MemoryAccess::write(addr)] {
+                assert_eq!(a.vpn, addr / PAGE_SIZE, "vpn of {addr:#x}");
+                assert_eq!(
+                    a.block as u64,
+                    (addr % PAGE_SIZE) / BLOCK_SIZE,
+                    "block of {addr:#x}"
+                );
+            }
+        }
     }
 }

@@ -54,6 +54,35 @@ fn engines_are_deterministic() {
     });
 }
 
+/// Every emitted access carries pre-resolved translation fields that
+/// agree with recomputation from `addr` — the contract the core's fast
+/// path relies on instead of dividing per simulated access.
+#[test]
+fn pre_resolved_access_fields_are_consistent() {
+    use astriflash_workloads::address_space::{BLOCK_SIZE, PAGE_SIZE};
+    prop_check!(cases: 12, |g| {
+        let engine_seed = g.u64_in(0..1_000);
+        let job_seed = g.u64_in(0..1_000);
+        let params = WorkloadParams::tiny_for_tests();
+        for kind in all_kinds() {
+            let mut engine = kind.build(&params, engine_seed);
+            let mut rng = SimRng::new(job_seed);
+            for _ in 0..20 {
+                let job = engine.next_job(&mut rng);
+                for a in job.accesses() {
+                    assert_eq!(a.vpn, a.addr / PAGE_SIZE, "{kind}: vpn of {:#x}", a.addr);
+                    assert_eq!(
+                        a.block as u64,
+                        (a.addr % PAGE_SIZE) / BLOCK_SIZE,
+                        "{kind}: block of {:#x}",
+                        a.addr
+                    );
+                }
+            }
+        }
+    });
+}
+
 /// Jobs carry both compute and memory work, with bounded size: the
 /// envelope the core model was calibrated for.
 #[test]

@@ -8,6 +8,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace --all-targets
 
+echo "==> cargo test (fast lane: memory-path crates)"
+# The SoA cache/TLB differential suites live here; running them first
+# gives the quickest signal on the hottest per-access structures.
+cargo test -q -p astriflash-mem -p astriflash-os
+
 echo "==> cargo test (debug, whole workspace)"
 cargo test -q --workspace
 
@@ -26,10 +31,10 @@ test -s results/trace_run.json
 test -s results/trace_run_gauges.csv
 
 echo "==> perf_report smoke (kernel perf baseline, record-only)"
-# Validates the BENCH_3.json schema end-to-end at reduced scale. The
+# Validates the BENCH_4.json schema end-to-end at reduced scale. The
 # numbers are environment-dependent and deliberately not gated; the
 # committed full-mode report is the reference.
 cargo run --release -q -p astriflash-bench --bin perf_report -- --smoke
-test -s results/BENCH_3.json
+test -s results/BENCH_4.json
 
 echo "CI green."
