@@ -1,6 +1,6 @@
 //! Wall-clock performance report for the simulation kernel.
 //!
-//! Produces `results/BENCH_4.json` with two sections:
+//! Produces `results/BENCH_5.json` with three sections:
 //!
 //! * **microbenches** — paired baseline-vs-optimized timings of the
 //!   kernel hot paths overhauled so far: timer-wheel vs binary-heap
@@ -13,6 +13,10 @@
 //! * **figure_cells** — wall-clock seconds and simulation-kernel
 //!   throughput (events/second) for representative figure cells, one
 //!   per configuration class.
+//! * **phase_attribution** — the fig9 AstriFlash cell run with
+//!   per-phase latency attribution on (the shipped default) vs off,
+//!   reporting the accounting overhead as a percentage (target ≤ 3 %,
+//!   DESIGN.md §11). Median of several repetitions per side.
 //!
 //! ```text
 //! cargo run --release -p astriflash-bench --bin perf_report [-- --smoke]
@@ -347,6 +351,79 @@ fn run_figure_cells(smoke: bool) -> Vec<FigureCell> {
         .collect()
 }
 
+struct PhaseOverhead {
+    off_wall_seconds: f64,
+    on_wall_seconds: f64,
+    events: u64,
+    reps: usize,
+}
+
+impl PhaseOverhead {
+    fn overhead_pct(&self) -> f64 {
+        if self.off_wall_seconds > 0.0 {
+            (self.on_wall_seconds - self.off_wall_seconds) / self.off_wall_seconds * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Times the fig9 AstriFlash cell with phase attribution on vs off.
+/// Runs are interleaved (off/on per rep) so drift hits both sides
+/// equally; the median wall time per side is reported.
+fn run_phase_overhead(smoke: bool) -> PhaseOverhead {
+    let (cfg, jobs, reps) = if smoke {
+        (
+            SystemConfig::default().with_cores(4).scaled_for_tests(),
+            80u64,
+            3usize,
+        )
+    } else {
+        (SystemConfig::default(), 200u64, 5usize)
+    };
+    let cell_off = Cell::closed(
+        cfg.clone().with_phase_attribution(false),
+        Configuration::AstriFlash,
+        1,
+        jobs,
+    );
+    let cell_on = Cell::closed(cfg, Configuration::AstriFlash, 1, jobs);
+    let mut off_walls = Vec::with_capacity(reps);
+    let mut on_walls = Vec::with_capacity(reps);
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let r = cell_off.run();
+        off_walls.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let r_on = cell_on.run();
+        on_walls.push(start.elapsed().as_secs_f64());
+        assert_eq!(
+            r.events_processed, r_on.events_processed,
+            "attribution must not change the event stream"
+        );
+        events = r_on.events_processed;
+    }
+    let median = |walls: &mut Vec<f64>| {
+        walls.sort_by(f64::total_cmp);
+        walls[walls.len() / 2]
+    };
+    let out = PhaseOverhead {
+        off_wall_seconds: median(&mut off_walls),
+        on_wall_seconds: median(&mut on_walls),
+        events,
+        reps,
+    };
+    println!(
+        "phase_attribution off {:.3} s -> on {:.3} s   ({:+.2}% overhead, {} reps)",
+        out.off_wall_seconds,
+        out.on_wall_seconds,
+        out.overhead_pct(),
+        out.reps
+    );
+    out
+}
+
 fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -355,10 +432,15 @@ fn num(v: f64) -> String {
     }
 }
 
-fn render_json(mode: &str, pairs: &[Pair], cells: &[FigureCell]) -> String {
+fn render_json(
+    mode: &str,
+    pairs: &[Pair],
+    cells: &[FigureCell],
+    overhead: &PhaseOverhead,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"BENCH_4\",");
+    let _ = writeln!(s, "  \"bench\": \"BENCH_5\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     s.push_str("  \"microbenches\": [\n");
     for (i, p) in pairs.iter().enumerate() {
@@ -390,7 +472,19 @@ fn render_json(mode: &str, pairs: &[Pair], cells: &[FigureCell]) -> String {
             num(c.events_per_sec()),
         );
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"phase_attribution\": {{\"cell\": \"fig9_astriflash_closed\", \
+         \"off_wall_seconds\": {}, \"on_wall_seconds\": {}, \"events\": {}, \
+         \"reps\": {}, \"overhead_pct\": {}}}",
+        num(overhead.off_wall_seconds),
+        num(overhead.on_wall_seconds),
+        overhead.events,
+        overhead.reps,
+        num(overhead.overhead_pct()),
+    );
+    s.push_str("}\n");
     s
 }
 
@@ -415,17 +509,20 @@ fn main() -> ExitCode {
     println!("== figure cells ({mode}) ==");
     let cells = run_figure_cells(smoke);
 
-    let out = render_json(mode, &pairs, &cells);
+    println!("== phase-attribution overhead ({mode}) ==");
+    let overhead = run_phase_overhead(smoke);
+
+    let out = render_json(mode, &pairs, &cells, &overhead);
     if let Err(e) = json::validate(&out) {
-        eprintln!("error: BENCH_4.json failed validation: {e}");
+        eprintln!("error: BENCH_5.json failed validation: {e}");
         return ExitCode::FAILURE;
     }
     if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/BENCH_4.json", &out))
+        .and_then(|()| std::fs::write("results/BENCH_5.json", &out))
     {
-        eprintln!("error: writing results/BENCH_4.json: {e}");
+        eprintln!("error: writing results/BENCH_5.json: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote results/BENCH_4.json ({} bytes)", out.len());
+    println!("wrote results/BENCH_5.json ({} bytes)", out.len());
     ExitCode::SUCCESS
 }

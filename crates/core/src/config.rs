@@ -119,6 +119,11 @@ pub struct SystemConfig {
     /// Second-level TLB geometry: (entries, ways). The paper leans on
     /// large translation reach (§IV-A); this knob quantifies it.
     pub tlb_geometry: (usize, usize),
+    /// Per-phase miss-latency attribution (DESIGN.md §11). Always on by
+    /// default — recording is per-miss and never affects timing
+    /// decisions; the knob exists so `perf_report` can measure the
+    /// accounting overhead against a true baseline.
+    pub phase_attribution: bool,
     /// Simulated-time cap per run; closed-loop runs end at the job quota
     /// or this cap, whichever comes first.
     pub max_sim_time_ms: u64,
@@ -209,6 +214,13 @@ impl SystemConfig {
         }
     }
 
+    /// Builder-style: toggle per-phase miss-latency attribution (on by
+    /// default; `perf_report` turns it off to measure its overhead).
+    pub fn with_phase_attribution(mut self, enabled: bool) -> Self {
+        self.phase_attribution = enabled;
+        self
+    }
+
     /// Builder-style: enable the footprint-cache extension.
     pub fn with_footprint_cache(mut self, enabled: bool) -> Self {
         self.footprint_cache = enabled;
@@ -268,6 +280,7 @@ impl Default for SystemConfig {
             msr_geometry: (64, 8),
             aging_multiplier: 2.0,
             tlb_geometry: (1536, 6),
+            phase_attribution: true,
             max_sim_time_ms: 200,
             warmup_fraction: 0.1,
         }

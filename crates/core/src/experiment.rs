@@ -1,7 +1,7 @@
 //! Experiment runner: builds a [`SystemSim`], runs it, and condenses the
 //! result into a [`RunReport`].
 
-use astriflash_stats::{Histogram, MetricSet, Percentile};
+use astriflash_stats::{Histogram, MetricSet, Percentile, Phase, PhaseSet};
 use astriflash_trace::Tracer;
 
 use crate::config::{Configuration, SystemConfig};
@@ -151,6 +151,12 @@ pub struct RunReport {
     /// reports and golden figures are unaffected; the perf harness uses
     /// it to compute events/sec.
     pub events_processed: u64,
+    /// Per-phase miss-latency attribution (DESIGN.md §11). Like
+    /// [`RunReport::events_processed`], a plain field rather than a
+    /// [`MetricSet`] entry so every previously rendered report stays
+    /// byte-identical. Empty when `phase_attribution` was off or the run
+    /// never missed in the DRAM cache.
+    pub phases: PhaseSet,
     /// Extra metrics for reports.
     pub metrics: MetricSet,
 }
@@ -231,6 +237,7 @@ impl RunReport {
             service_hist: stats.service_ns,
             response_hist: stats.response_ns,
             events_processed: stats.events_processed,
+            phases: stats.phases,
             metrics,
         }
     }
@@ -238,6 +245,19 @@ impl RunReport {
     /// Renders the metric set as aligned text.
     pub fn render(&self) -> String {
         self.metrics.render()
+    }
+
+    /// Per-phase `[p50, p95, p99, p99.9]` miss-latency percentiles in ns
+    /// (the quantiles in [`astriflash_stats::PHASE_QUANTILES`]). All-zero
+    /// for a phase with no samples.
+    pub fn phase_percentiles(&self, phase: Phase) -> [u64; 4] {
+        self.phases.percentiles(phase)
+    }
+
+    /// Share of total attributed miss latency spent in `phase`
+    /// (the critical-path share; 0.0 when nothing was attributed).
+    pub fn phase_share(&self, phase: Phase) -> f64 {
+        self.phases.share(phase)
     }
 }
 

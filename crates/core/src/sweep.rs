@@ -127,6 +127,27 @@ pub fn threads_from_env() -> usize {
         .unwrap_or(1)
 }
 
+/// Reads the traced-cell override from `ASTRIFLASH_TRACE_CELL`; falls
+/// back to cell 0 (the historical `run_with_cell0_trace` behaviour).
+pub fn traced_cell_from_env() -> usize {
+    parse_traced_cell(std::env::var("ASTRIFLASH_TRACE_CELL").ok().as_deref())
+}
+
+/// Pure parse of an `ASTRIFLASH_TRACE_CELL` value (`None` = unset), so
+/// the warning logic is testable without mutating process environment.
+fn parse_traced_cell(raw: Option<&str>) -> usize {
+    if let Some(v) = raw {
+        match v.trim().parse::<usize>() {
+            Ok(n) => return n,
+            _ => eprintln!(
+                "warning: ignoring ASTRIFLASH_TRACE_CELL={v:?} (expected an integer >= 0); \
+                 falling back to cell 0"
+            ),
+        }
+    }
+    0
+}
+
 /// The parallel sweep runner. Cheap to construct; holds only the worker
 /// count.
 #[derive(Debug, Clone, Copy)]
@@ -164,15 +185,32 @@ impl Sweep {
         self.map_described(cells, |_, cell| cell.run(), describe_cell)
     }
 
-    /// Like [`Sweep::run`], but attaches `tracer` to **cell 0 only**:
-    /// figure harnesses can opt into a trace of their first cell without
-    /// perturbing any cell's report (traced and untraced runs produce
-    /// bit-identical reports).
-    pub fn run_with_cell0_trace(&self, cells: &[Cell], tracer: Tracer) -> Vec<RunReport> {
+    /// Like [`Sweep::run`], but attaches `tracer` to the single cell at
+    /// `traced` (out-of-range indices warn and clamp to cell 0): figure
+    /// harnesses can opt into a trace of any one cell without perturbing
+    /// any cell's report (traced and untraced runs produce bit-identical
+    /// reports). Pick the index from [`traced_cell_from_env`] to honour
+    /// `ASTRIFLASH_TRACE_CELL`.
+    pub fn run_with_traced_cell(
+        &self,
+        cells: &[Cell],
+        tracer: Tracer,
+        traced: usize,
+    ) -> Vec<RunReport> {
+        let traced = if traced < cells.len() || cells.is_empty() {
+            traced
+        } else {
+            eprintln!(
+                "warning: traced cell {traced} out of range (grid has {} cells); \
+                 tracing cell 0 instead",
+                cells.len()
+            );
+            0
+        };
         self.map_described(
             cells,
             |i, cell| {
-                if i == 0 {
+                if i == traced {
                     cell.run_traced(tracer.clone())
                 } else {
                     cell.run()
@@ -180,6 +218,12 @@ impl Sweep {
             },
             describe_cell,
         )
+    }
+
+    /// Back-compat wrapper: [`Sweep::run_with_traced_cell`] pinned to
+    /// cell 0.
+    pub fn run_with_cell0_trace(&self, cells: &[Cell], tracer: Tracer) -> Vec<RunReport> {
+        self.run_with_traced_cell(cells, tracer, 0)
     }
 
     /// Deterministic parallel map: applies `f(index, &item)` to every
@@ -409,6 +453,36 @@ mod tests {
         let msg = panic_message(result.expect_err("panic must propagate"));
         assert!(msg.contains("lone cell 0"), "missing context: {msg}");
         assert!(msg.contains("solo boom"), "missing original message: {msg}");
+    }
+
+    #[test]
+    fn traced_cell_parse_defaults_and_rejects_garbage() {
+        assert_eq!(parse_traced_cell(None), 0);
+        assert_eq!(parse_traced_cell(Some("3")), 3);
+        assert_eq!(parse_traced_cell(Some("  7 ")), 7);
+        assert_eq!(parse_traced_cell(Some("banana")), 0);
+        assert_eq!(parse_traced_cell(Some("-1")), 0);
+        assert_eq!(parse_traced_cell(Some("")), 0);
+    }
+
+    #[test]
+    fn traced_cell_choice_does_not_change_reports() {
+        let cells = vec![
+            Cell::closed(cfg(), Configuration::AstriFlash, 5, 15),
+            Cell::closed(cfg(), Configuration::FlashSync, 5, 15),
+        ];
+        let plain = Sweep::with_threads(2).run(&cells);
+        let traced =
+            Sweep::with_threads(2).run_with_traced_cell(&cells, Tracer::ring(1 << 16), 1);
+        // Out-of-range clamps to 0 rather than panicking.
+        let clamped =
+            Sweep::with_threads(2).run_with_traced_cell(&cells, Tracer::ring(1 << 16), 9);
+        for (a, b) in plain.iter().zip(traced.iter()) {
+            assert_eq!(a.render(), b.render());
+        }
+        for (a, b) in plain.iter().zip(clamped.iter()) {
+            assert_eq!(a.render(), b.render());
+        }
     }
 
     #[test]

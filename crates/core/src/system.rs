@@ -31,7 +31,7 @@ use astriflash_mem::{
 };
 use astriflash_os::{PageTableWalker, Tlb};
 use astriflash_sim::{EventQueue, PageMap, SimDuration, SimRng, SimTime};
-use astriflash_stats::{Histogram, OnlineStats};
+use astriflash_stats::{Histogram, OnlineStats, Phase, PhaseSet};
 use astriflash_trace::{Track, Tracer};
 use astriflash_uthread::{Completion, MissPark, NotificationQueue, Pick, Policy, Scheduler};
 use astriflash_workloads::{JobSpec, MemoryAccess, PoissonArrivals, WorkloadEngine, PAGE_SIZE};
@@ -84,6 +84,85 @@ struct Thread {
     forced: bool,
     /// Open trace span for the in-flight miss (0 = none).
     miss_span: u64,
+    /// Per-phase scratch for the in-flight miss (latency attribution,
+    /// DESIGN.md §11). Lives and dies with the miss span.
+    attr: MissAttr,
+}
+
+/// How the in-flight miss's BC admission resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum MissKind {
+    /// Not resolved yet (pre-admission, or stalled on a full MSR set).
+    #[default]
+    Unresolved,
+    /// This miss issued the flash read.
+    Issued,
+    /// This miss coalesced onto another miss's in-flight read.
+    Coalesced,
+}
+
+/// Fixed-size per-thread scratch accumulating one miss's phase
+/// boundaries (DESIGN.md §11). Written at the same simulation points the
+/// trace span records its events, and flushed into the run's
+/// [`PhaseSet`] only when the lifecycle *completed* (the page arrived
+/// before the span closed) — exactly the lifecycles the offline trace
+/// analyzer reconstructs, so the two layers stay comparable. No heap,
+/// no timing side effects.
+#[derive(Debug, Clone, Copy, Default)]
+struct MissAttr {
+    /// A miss is in flight (set at first miss detection, cleared when
+    /// the span closes).
+    active: bool,
+    kind: MissKind,
+    /// First miss-detection time (survives MSR-stall retries).
+    started_ns: u64,
+    /// Detection → admission resolution (flash issue / duplicate).
+    admit_ns: u64,
+    /// When admission resolved as a duplicate (coalesced-wait start).
+    admit_end_ns: u64,
+    /// Issuing misses: flash-phase durations from the device.
+    queue_ns: u64,
+    read_ns: u64,
+    xfer_ns: u64,
+    /// Issuing misses: when the channel transfer completed.
+    xfer_done_ns: u64,
+    /// Filled at page arrival.
+    install_ns: u64,
+    coalesced_ns: u64,
+    arrived: bool,
+    arrived_ns: u64,
+}
+
+impl MissAttr {
+    fn begin(t_ns: u64) -> Self {
+        MissAttr {
+            active: true,
+            started_ns: t_ns,
+            ..MissAttr::default()
+        }
+    }
+
+    /// Records the completed lifecycle into `phases`. `end_ns` is the
+    /// span-close time (thread resumed / run ended); only called when
+    /// the page arrived.
+    fn flush(&self, end_ns: u64, phases: &mut PhaseSet) {
+        match self.kind {
+            MissKind::Issued => {
+                phases.record(Phase::AdmitWait, self.admit_ns);
+                phases.record(Phase::FlashQueue, self.queue_ns);
+                phases.record(Phase::FlashRead, self.read_ns);
+                phases.record(Phase::PcieXfer, self.xfer_ns);
+                phases.record(Phase::Install, self.install_ns);
+            }
+            MissKind::Coalesced => {
+                phases.record(Phase::AdmitWait, self.admit_ns);
+                phases.record(Phase::CoalescedWait, self.coalesced_ns);
+            }
+            // A page can only arrive for an admitted miss.
+            MissKind::Unresolved => return,
+        }
+        phases.record(Phase::ResumeDelay, end_ns.saturating_sub(self.arrived_ns));
+    }
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -190,6 +269,10 @@ pub struct SystemStats {
     pub tlb_hits: u64,
     /// TLB misses summed over cores.
     pub tlb_misses: u64,
+    /// Per-phase latency attribution of completed miss lifecycles
+    /// (DESIGN.md §11); empty when `SystemConfig::phase_attribution` is
+    /// off or the run never missed.
+    pub phases: PhaseSet,
 }
 
 impl SystemStats {
@@ -264,6 +347,10 @@ pub struct SystemSim {
     inflight_spans: PageMap<u64>,
     /// Reused waiter buffer for completions (cleared between events).
     waiter_scratch: Vec<Waiter>,
+    /// Per-phase histograms of completed miss lifecycles.
+    phases: PhaseSet,
+    /// Copy of `cfg.phase_attribution` (hot-path gate).
+    phase_attr: bool,
     /// Previous gauge-sample window state (hits, misses, per-core busy,
     /// sample time) for windowed rates.
     gauge_prev: GaugeWindow,
@@ -361,6 +448,7 @@ impl SystemSim {
         let walker = PageTableWalker::new(pt_base, cfg.page_table_region_bytes() / 4096);
         let hierarchy = CacheHierarchy::new(cfg.cores, cfg.hierarchy.clone());
         let max_time = SimTime::from_ms(cfg.max_sim_time_ms);
+        let phase_attr = cfg.phase_attribution;
 
         SystemSim {
             cfg,
@@ -396,6 +484,8 @@ impl SystemSim {
             tracer: Tracer::off(),
             inflight_spans: PageMap::with_capacity(msr_sets * msr_ways),
             waiter_scratch: Vec::new(),
+            phases: PhaseSet::new(),
+            phase_attr,
             gauge_prev: GaugeWindow::default(),
         }
     }
@@ -483,6 +573,21 @@ impl SystemSim {
                 }
             }
         }
+        // Mirror the span force-close for phase attribution: lifecycles
+        // whose page arrived count (resume delay runs to end-of-run, as
+        // in the force-closed span the analyzer sees); the rest — pages
+        // still in flight — are discarded on both sides.
+        if self.phase_attr {
+            let end = self.queue.now().as_ns();
+            for core in &mut self.cores {
+                for th in core.threads.iter_mut().flatten() {
+                    let attr = std::mem::take(&mut th.attr);
+                    if attr.active && attr.arrived {
+                        attr.flush(end, &mut self.phases);
+                    }
+                }
+            }
+        }
         let mut stats = SystemStats {
             measured_jobs: self.measured_jobs,
             total_jobs: self.total_jobs,
@@ -510,6 +615,7 @@ impl SystemSim {
             level_totals: self.hierarchy.level_totals(),
             tlb_hits: 0,
             tlb_misses: 0,
+            phases: self.phases,
         };
         for c in &self.cores {
             stats.tlb_hits += c.tlb.hits();
@@ -699,6 +805,33 @@ impl SystemSim {
                     page,
                 );
             }
+            // Phase attribution: stamp the arrival (once — a thread can
+            // appear twice in the waiter list after an aged promotion
+            // re-missed the same page) and close out lifecycles that
+            // resume synchronously below.
+            let mut done_attr: Option<MissAttr> = None;
+            if self.phase_attr && t.attr.active {
+                if !t.attr.arrived {
+                    t.attr.arrived = true;
+                    t.attr.arrived_ns = installed.as_ns();
+                    match t.attr.kind {
+                        MissKind::Issued => {
+                            t.attr.install_ns =
+                                installed.as_ns().saturating_sub(t.attr.xfer_done_ns);
+                        }
+                        MissKind::Coalesced => {
+                            t.attr.coalesced_ns =
+                                installed.as_ns().saturating_sub(t.attr.admit_end_ns);
+                        }
+                        MissKind::Unresolved => {}
+                    }
+                }
+                // Blocked threads resume at install time: zero resume
+                // delay, lifecycle complete.
+                if matches!(t.state, ThreadState::BlockedOnPage(p) if p == page) {
+                    done_attr = Some(std::mem::take(&mut t.attr));
+                }
+            }
             match t.state {
                 ThreadState::Parked => {
                     // Post the completion on the core's queue pair; the
@@ -725,6 +858,9 @@ impl SystemSim {
                     self.schedule_resume(core, installed);
                 }
                 _ => {}
+            }
+            if let Some(attr) = done_attr {
+                attr.flush(installed.as_ns(), &mut self.phases);
             }
         }
         waiters.clear();
@@ -774,6 +910,7 @@ impl SystemSim {
                     parked_at: SimTime::ZERO,
                     forced: false,
                     miss_span: 0,
+                    attr: MissAttr::default(),
                 });
                 core.running = Some(slot);
                 true
@@ -795,6 +932,17 @@ impl SystemSim {
                     );
                     self.tracer
                         .end_span(now.as_ns(), Track::Core(core_id as u32), "miss", span);
+                }
+                // Phase attribution mirrors the span close above: a
+                // lifecycle whose page arrived completes here (the gap
+                // since arrival is its resume delay); an aged promotion
+                // without arrival is discarded, like its span — the
+                // analyzer skips spans with no `page_arrived` too.
+                if self.phase_attr && t.attr.active {
+                    let attr = std::mem::take(&mut t.attr);
+                    if attr.arrived {
+                        attr.flush(now.as_ns(), &mut self.phases);
+                    }
                 }
                 let park_delay = now.saturating_since(t.parked_at).as_ns();
                 self.park_ns.record(park_delay);
@@ -1066,6 +1214,16 @@ impl SystemSim {
                             .end_span(t.as_ns(), Track::Core(core_id as u32), "miss", span);
                     }
                 }
+                if self.phase_attr {
+                    // The retried miss resolved as a hit: its lifecycle
+                    // never saw a page arrival, so discard the scratch
+                    // (the analyzer skips such spans as well).
+                    if let Some(th) = self.cores[core_id].threads[slot].as_mut() {
+                        if th.attr.active {
+                            th.attr = MissAttr::default();
+                        }
+                    }
+                }
                 self.clear_forced(core_id, slot);
                 AccessResult::Done(t)
             }
@@ -1113,6 +1271,16 @@ impl SystemSim {
         } else {
             0
         };
+        if self.phase_attr {
+            // Open (or keep, across an MSR-stall retry) this miss's
+            // attribution scratch; the BC admission below resolves it.
+            let th = self.cores[core_id].threads[slot]
+                .as_mut()
+                .expect("running thread");
+            if !th.attr.active {
+                th.attr = MissAttr::begin(t.as_ns());
+            }
+        }
 
         // Admit to the backside controller (dedup via MSR, flash read).
         let waiter = Waiter {
@@ -1120,11 +1288,36 @@ impl SystemSim {
             thread: slot as u32,
         };
         match self.bc.admit(t, page, waiter, &mut self.dram_cache) {
-            BcAdmission::Duplicate => { /* read already in flight */ }
+            BcAdmission::Duplicate { resolved_at } => {
+                // Read already in flight; the miss coalesces onto it.
+                if self.phase_attr {
+                    let th = self.cores[core_id].threads[slot]
+                        .as_mut()
+                        .expect("running thread");
+                    th.attr.kind = MissKind::Coalesced;
+                    th.attr.admit_ns =
+                        resolved_at.as_ns().saturating_sub(th.attr.started_ns);
+                    th.attr.admit_end_ns = resolved_at.as_ns();
+                }
+            }
             BcAdmission::IssueFlashRead { issue_at } => {
                 let bitmap = self.dram_cache.predict_footprint(page, access.block);
                 let bytes = bitmap.count_ones() as u64 * 64;
-                let done = self.flash.read_bytes(issue_at, page, bytes);
+                let timing = self.flash.read_bytes_timed(issue_at, page, bytes);
+                let done = timing.done;
+                if self.phase_attr {
+                    let th = self.cores[core_id].threads[slot]
+                        .as_mut()
+                        .expect("running thread");
+                    th.attr.kind = MissKind::Issued;
+                    th.attr.admit_ns =
+                        issue_at.as_ns().saturating_sub(th.attr.started_ns);
+                    th.attr.admit_end_ns = issue_at.as_ns();
+                    th.attr.queue_ns = timing.queue_ns;
+                    th.attr.read_ns = timing.read_ns;
+                    th.attr.xfer_ns = timing.xfer_ns;
+                    th.attr.xfer_done_ns = timing.transfer_done.as_ns();
+                }
                 self.inflight_footprints.insert(page, bitmap);
                 if miss_span != 0 {
                     self.inflight_spans.insert(page, miss_span);
@@ -1322,7 +1515,7 @@ impl SystemSim {
                                         self.queue
                                             .schedule(done, Event::PageArrived { page });
                                     }
-                                    BcAdmission::Duplicate => {}
+                                    BcAdmission::Duplicate { .. } => {}
                                     BcAdmission::Stalled => {
                                         let retry = tag_check_done_at
                                             + SimDuration::from_ns(MSR_RETRY_NS);

@@ -9,6 +9,8 @@
 
 use astriflash_core::config::{Configuration, SystemConfig};
 use astriflash_core::experiments::{fig1, fig3, fig9};
+use astriflash_core::sweep::Cell;
+use astriflash_stats::Phase;
 use astriflash_workloads::{WorkloadKind, WorkloadParams};
 
 /// Tolerance for values EXPERIMENTS.md reports at three decimals.
@@ -108,6 +110,42 @@ fn fig9_matrix_matches_experiments_md() {
             (got - want).abs() < TABLE_TOL,
             "geomean {}: {got} drifted from {want}",
             conf.name()
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "full-scale golden; run with `cargo test --release`"
+)]
+fn phase_breakdown_seed1_matches_golden() {
+    // The seed-1 AstriFlash TATP cell's per-phase miss-latency
+    // breakdown (DESIGN.md §11), pinned exactly: the simulation is
+    // deterministic and the histograms are exact counters, so any
+    // drift here is a real behavior change in the miss path or the
+    // attribution itself.
+    let r = Cell::closed(SystemConfig::default(), Configuration::AstriFlash, 1, 200).run();
+    assert_eq!(r.phases.completed_misses(), 882);
+    let expected: [(Phase, u64, [u64; 4]); 7] = [
+        (Phase::AdmitWait, 882, [6, 6, 6, 6]),
+        (Phase::CoalescedWait, 114, [27135, 69631, 86015, 89825]),
+        (Phase::FlashQueue, 768, [0, 27135, 43007, 68895]),
+        (Phase::FlashRead, 768, [44031, 49151, 51199, 59727]),
+        (Phase::PcieXfer, 768, [1311, 30207, 43007, 58301]),
+        (Phase::Install, 768, [2367, 4095, 5503, 6182]),
+        (Phase::ResumeDelay, 882, [4479, 8447, 12287, 49537]),
+    ];
+    for (phase, count, pcts) in expected {
+        assert_eq!(
+            r.phases.hist(phase).count(),
+            count,
+            "{phase}: sample count drifted"
+        );
+        assert_eq!(
+            r.phases.percentiles(phase),
+            pcts,
+            "{phase}: p50/p95/p99/p99.9 drifted"
         );
     }
 }

@@ -36,6 +36,25 @@ impl FlashStats {
     }
 }
 
+/// Per-phase timing breakdown of one flash read, as returned by
+/// [`FlashDevice::read_bytes_timed`]. The phases partition the read's
+/// life up to `transfer_done`; the remaining `done - transfer_done` gap
+/// is the fixed controller/host overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashReadTiming {
+    /// Time spent queued behind the flash plane (0 if it was idle).
+    pub queue_ns: u64,
+    /// Array read time (tR, with jitter).
+    pub read_ns: u64,
+    /// Channel/PCIe transfer time for the fetched bytes.
+    pub xfer_ns: u64,
+    /// When the channel transfer completed.
+    pub transfer_done: SimTime,
+    /// When the data is available at the host (transfer + controller
+    /// overhead) — the value `read_bytes` returns.
+    pub done: SimTime,
+}
+
 /// The SSD model. See the crate docs for the modeling scope.
 #[derive(Debug)]
 pub struct FlashDevice {
@@ -104,6 +123,18 @@ impl FlashDevice {
     /// `bytes` cross the channel (the footprint-cache optimization,
     /// §II-A — bandwidth, not latency, is what footprints save).
     pub fn read_bytes(&mut self, now: SimTime, logical_page: u64, bytes: u64) -> SimTime {
+        self.read_bytes_timed(now, logical_page, bytes).done
+    }
+
+    /// [`FlashDevice::read_bytes`] with a per-phase timing breakdown of
+    /// the read, for latency attribution. Timing, statistics, RNG draws
+    /// and trace emission are identical to `read_bytes`.
+    pub fn read_bytes_timed(
+        &mut self,
+        now: SimTime,
+        logical_page: u64,
+        bytes: u64,
+    ) -> FlashReadTiming {
         let bytes = bytes.clamp(64, FlashConfig::PAGE_BYTES);
         let plane_idx = self.ftl.plane_of(logical_page);
         let channel_idx = self.channel_of(plane_idx);
@@ -114,6 +145,8 @@ impl FlashDevice {
         }
         let t_r = self.jitter(self.cfg.read_latency_ns);
         let array_done = self.planes[plane_idx].occupy_read(now, t_r);
+        let array_start = array_done - t_r;
+        let queue_wait = array_start.saturating_since(now).as_ns();
         // Transfer over the channel once the array read finishes, then
         // pay the controller/host overhead.
         let transfer_done = self.channels[channel_idx].transfer(array_done, bytes);
@@ -122,8 +155,6 @@ impl FlashDevice {
             .record(done.saturating_since(now).as_ns());
         if self.tracer.enabled() {
             let track = Track::FlashChannel(channel_idx as u32);
-            let array_start = array_done - t_r;
-            let queue_wait = array_start.saturating_since(now).as_ns();
             self.tracer
                 .span_instant(now.as_ns(), track, "flash_issue", logical_page);
             if queue_wait > 0 {
@@ -140,7 +171,13 @@ impl FlashDevice {
                 bytes,
             );
         }
-        done
+        FlashReadTiming {
+            queue_ns: queue_wait,
+            read_ns: t_r.as_ns(),
+            xfer_ns: transfer_done.saturating_since(array_done).as_ns(),
+            transfer_done,
+            done,
+        }
     }
 
     /// Per-channel backlog at `now`: how far in the future each channel

@@ -18,7 +18,12 @@ use crate::msr::{MissStatusRow, MsrAdmission};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BcAdmission {
     /// A read for the page is already in flight; no flash request needed.
-    Duplicate,
+    Duplicate {
+        /// When BC finished the MSR lookup and resolved the miss as a
+        /// duplicate — the point the requester starts waiting on the
+        /// in-flight read (latency attribution).
+        resolved_at: SimTime,
+    },
     /// The miss was accepted; issue a flash read completing the request.
     ///
     /// Victim selection and the evict-buffer copy happen while the flash
@@ -109,7 +114,9 @@ impl BacksideController {
         let admission = match self.msr.admit(page, waiter) {
             MsrAdmission::Duplicate => {
                 self.stats.duplicates += 1;
-                BcAdmission::Duplicate
+                BcAdmission::Duplicate {
+                    resolved_at: processed,
+                }
             }
             MsrAdmission::Full => {
                 self.stats.stalls += 1;
@@ -125,7 +132,7 @@ impl BacksideController {
         };
         if self.tracer.enabled() {
             let name = match admission {
-                BcAdmission::Duplicate => "bc_duplicate",
+                BcAdmission::Duplicate { .. } => "bc_duplicate",
                 BcAdmission::Stalled => "bc_stall",
                 BcAdmission::IssueFlashRead { .. } => "bc_admit",
             };
@@ -273,7 +280,13 @@ mod tests {
         bc.admit(SimTime::ZERO, 7, W, &mut cache);
         let w2 = Waiter { core: 3, thread: 9 };
         let adm = bc.admit(SimTime::ZERO, 7, w2, &mut cache);
-        assert_eq!(adm, BcAdmission::Duplicate);
+        // Resolved after the MSR lookup + BC processing (2 × 2 ns).
+        assert_eq!(
+            adm,
+            BcAdmission::Duplicate {
+                resolved_at: SimTime::from_ns(4)
+            }
+        );
         let (completion, _) = bc.complete(SimTime::from_us(50), 7, &mut cache);
         assert_eq!(completion.waiters.len(), 2);
         assert_eq!(bc.stats().duplicates, 1);

@@ -25,6 +25,7 @@ pub mod csv;
 pub mod histogram;
 pub mod moments;
 pub mod percentile;
+pub mod phase;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
@@ -34,6 +35,7 @@ pub use csv::CsvDoc;
 pub use histogram::Histogram;
 pub use moments::OnlineStats;
 pub use percentile::Percentile;
+pub use phase::{Phase, PhaseHist, PhaseSet, PHASE_QUANTILES};
 pub use summary::MetricSet;
 pub use table::TextTable;
 pub use timeseries::{series_to_csv, TimeSeries};

@@ -1,0 +1,140 @@
+//! Property tests for the phase-attribution histograms: the merge
+//! algebra (associative, commutative) and shard-count invariance that
+//! the deterministic sweep merge relies on (DESIGN.md §11), plus the
+//! domain edges (0 ns, `u64::MAX` saturation).
+
+use astriflash_stats::{Phase, PhaseHist, PhaseSet, PHASE_QUANTILES};
+use astriflash_testkit::prop_check;
+
+/// A generated observation, biased toward the interesting scales: small
+/// linear-range values, µs–ms scale latencies, and the extremes.
+fn gen_value(g: &mut astriflash_testkit::TestRng) -> u64 {
+    match g.u32_in(0..10) {
+        0 => 0,
+        1 => u64::MAX,
+        2..=4 => g.u64_in(0..64),
+        5..=7 => g.u64_in(1_000..10_000_000),
+        _ => g.any_u64(),
+    }
+}
+
+fn hist_of(values: &[u64]) -> PhaseHist {
+    let mut h = PhaseHist::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    prop_check!(cases: 64, |g| {
+        let a = hist_of(&g.vec(0..40, gen_value));
+        let b = hist_of(&g.vec(0..40, gen_value));
+        let c = hist_of(&g.vec(0..40, gen_value));
+
+        // a ∪ b == b ∪ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    });
+}
+
+#[test]
+fn merged_percentiles_are_shard_count_invariant() {
+    prop_check!(cases: 48, |g| {
+        let values = g.vec(1..200, gen_value);
+        let whole = hist_of(&values);
+
+        // Deal the same observations across k shards round-robin and
+        // merge back: identical histogram, identical percentiles.
+        let k = g.usize_in(2..9);
+        let mut shards: Vec<PhaseHist> = (0..k).map(|_| PhaseHist::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % k].record(v);
+        }
+        let mut merged = PhaseHist::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged, whole);
+        for q in PHASE_QUANTILES {
+            assert_eq!(merged.value_at_quantile(q), whole.value_at_quantile(q));
+        }
+        assert_eq!(merged.count(), values.len() as u64);
+        assert_eq!(merged.sum(), values.iter().map(|&v| v as u128).sum());
+    });
+}
+
+#[test]
+fn quantiles_stay_within_observed_range() {
+    prop_check!(cases: 64, |g| {
+        let values = g.vec(1..100, gen_value);
+        let h = hist_of(&values);
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            let v = h.value_at_quantile(q);
+            assert!(v >= lo && v <= hi, "q {q}: {v} outside [{lo}, {hi}]");
+        }
+    });
+}
+
+#[test]
+fn bucket_boundary_edges_hold() {
+    // 0 and u64::MAX are exact fixed points of the bucket mapping.
+    let mut h = PhaseHist::new();
+    h.record(0);
+    assert_eq!(h.value_at_quantile(1.0), 0);
+    h.record(u64::MAX);
+    assert_eq!(h.value_at_quantile(1.0), u64::MAX);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), u64::MAX);
+    assert_eq!(h.sum(), u64::MAX as u128);
+
+    // Merging an empty histogram is the identity.
+    let before = h.clone();
+    h.merge(&PhaseHist::new());
+    assert_eq!(h, before);
+}
+
+#[test]
+fn set_merge_is_phasewise_and_order_insensitive() {
+    prop_check!(cases: 32, |g| {
+        // Build n shard PhaseSets with random observations, then merge
+        // in forward and reverse order: identical results.
+        let n = g.usize_in(2..6);
+        let shards: Vec<PhaseSet> = (0..n)
+            .map(|_| {
+                let mut s = PhaseSet::new();
+                for _ in 0..g.usize_in(0..30) {
+                    let phase = Phase::all()[g.usize_in(0..Phase::COUNT)];
+                    s.record(phase, gen_value(g));
+                }
+                s
+            })
+            .collect();
+        let mut fwd = PhaseSet::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut rev = PhaseSet::new();
+        for s in shards.iter().rev() {
+            rev.merge(s);
+        }
+        assert_eq!(fwd, rev);
+        let total: u64 = shards.iter().map(|s| s.hist(Phase::AdmitWait).count()).sum();
+        assert_eq!(fwd.completed_misses(), total);
+    });
+}

@@ -19,8 +19,18 @@ use crate::json::escape;
 /// timeline across core, controller, and flash tracks. Slices become
 /// complete (`X`) events, gauges become counter (`C`) events.
 pub fn perfetto_json(events: &[TraceEvent]) -> String {
+    perfetto_json_with_meta(events, 0)
+}
+
+/// [`perfetto_json`] plus ring-overflow metadata: `dropped` (from
+/// [`crate::Tracer::dropped`]) is emitted as a top-level
+/// `"droppedEvents"` key so a sheared trace is detectable from the
+/// artifact alone.
+pub fn perfetto_json_with_meta(events: &[TraceEvent], dropped: u64) -> String {
     let mut out = String::with_capacity(events.len() * 96 + 1024);
-    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    out.push_str(&format!(
+        "{{\"displayTimeUnit\":\"ns\",\"droppedEvents\":{dropped},\"traceEvents\":[\n"
+    ));
     let mut first = true;
     let mut push = |out: &mut String, obj: String| {
         if !first {
@@ -121,7 +131,25 @@ pub fn gauge_series(events: &[TraceEvent]) -> Vec<TimeSeries> {
 /// Renders all gauge samples as a long-form CSV
 /// (`t_ns,gauge,lane,value`).
 pub fn gauges_csv(events: &[TraceEvent]) -> CsvDoc {
-    series_to_csv(&gauge_series(events))
+    gauges_csv_with_meta(events, 0)
+}
+
+/// [`gauges_csv`] plus ring-overflow metadata: when `dropped > 0` a
+/// final in-band `trace_dropped_events` row records the loss (lane 0,
+/// value = count), so downstream readers of the artifact see it without
+/// a side channel. With `dropped == 0` the output is byte-identical to
+/// [`gauges_csv`].
+pub fn gauges_csv_with_meta(events: &[TraceEvent], dropped: u64) -> CsvDoc {
+    let mut doc = series_to_csv(&gauge_series(events));
+    if dropped > 0 {
+        doc.row_owned(vec![
+            "0".to_string(),
+            "trace_dropped_events".to_string(),
+            "0".to_string(),
+            format!("{dropped}"),
+        ]);
+    }
+    doc
 }
 
 /// `ts` in microseconds with exactly three decimals (= whole
@@ -211,5 +239,22 @@ mod tests {
         let json = perfetto_json(&[]);
         validate(&json).unwrap();
         assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn dropped_counts_surface_in_both_exporters() {
+        let events = sample_events();
+        let json = perfetto_json_with_meta(&events, 17);
+        validate(&json).unwrap();
+        assert!(json.contains("\"droppedEvents\":17"), "{json}");
+        assert!(perfetto_json(&events).contains("\"droppedEvents\":0"));
+
+        let csv = gauges_csv_with_meta(&events, 17).render();
+        assert!(csv.ends_with("0,trace_dropped_events,0,17\n"), "{csv}");
+        // Zero drops must not perturb the artifact bytes.
+        assert_eq!(
+            gauges_csv_with_meta(&events, 0).render(),
+            gauges_csv(&events).render()
+        );
     }
 }

@@ -29,12 +29,24 @@ cargo run --release -q -p astriflash-bench --bin trace_run -- --quick
 # only re-check the artifacts landed and are non-empty.
 test -s results/trace_run.json
 test -s results/trace_run_gauges.csv
+test -s results/trace_run_phases.csv
+
+echo "==> trace_analyze (offline reconstruction cross-validation)"
+# Rebuilds the per-phase breakdown from the exported trace alone and
+# compares it against the in-sim histograms; any disagreement (or a
+# sheared trace with dropped events) exits non-zero.
+cargo run --release -q -p astriflash-analyze --bin trace_analyze
+
+echo "==> latency_breakdown smoke (per-phase miss anatomy)"
+cargo run --release -q -p astriflash-bench --bin latency_breakdown -- --quick
+test -s results/latency_breakdown.txt
+test -s results/latency_breakdown.csv
 
 echo "==> perf_report smoke (kernel perf baseline, record-only)"
-# Validates the BENCH_4.json schema end-to-end at reduced scale. The
+# Validates the BENCH_5.json schema end-to-end at reduced scale. The
 # numbers are environment-dependent and deliberately not gated; the
 # committed full-mode report is the reference.
 cargo run --release -q -p astriflash-bench --bin perf_report -- --smoke
-test -s results/BENCH_4.json
+test -s results/BENCH_5.json
 
 echo "CI green."

@@ -15,6 +15,7 @@
 //! assert!(report.throughput_jobs_per_sec > 0.0);
 //! ```
 
+pub use astriflash_analyze as analyze;
 pub use astriflash_core as core;
 pub use astriflash_cpu as cpu;
 pub use astriflash_flash as flash;
