@@ -1,0 +1,83 @@
+//! CI perf regression gate (DESIGN.md §12).
+//!
+//! ```text
+//! cargo run --release -p astriflash-bench --bin perf_gate \
+//!     [-- --bench results/BENCH_6.json --baseline results/perf_baseline.json]
+//! ```
+//!
+//! Loads the freshly generated BENCH report and the committed baseline
+//! floors, and exits:
+//!
+//! * `0` — every pinned floor held;
+//! * `1` — one or more floors violated (each offending ratio printed);
+//! * `2` — malformed input (unreadable file, bad JSON, missing bench,
+//!   non-finite value): never silently passes.
+
+use std::process::ExitCode;
+
+use astriflash_bench::gate::gate;
+
+fn main() -> ExitCode {
+    let mut bench_path = "results/BENCH_6.json".to_owned();
+    let mut baseline_path = "results/perf_baseline.json".to_owned();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" if i + 1 < args.len() => {
+                bench_path = args[i + 1].clone();
+                i += 1;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                baseline_path = args[i + 1].clone();
+                i += 1;
+            }
+            other => {
+                eprintln!("perf_gate: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let bench_json = match std::fs::read_to_string(&bench_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf_gate: reading {bench_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf_gate: reading {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match gate(&bench_json, &baseline_json) {
+        Ok(report) => {
+            for line in &report.checks {
+                println!("{line}");
+            }
+            if report.passed() {
+                println!("perf_gate: PASS ({} floors held)", report.checks.len());
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    eprintln!("perf_gate: {}", v.render());
+                }
+                eprintln!(
+                    "perf_gate: FAIL ({} of {} floors violated)",
+                    report.violations.len(),
+                    report.checks.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("perf_gate: malformed input: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

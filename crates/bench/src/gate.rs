@@ -1,0 +1,330 @@
+//! Perf regression gate: checks a BENCH report against the committed
+//! baseline floors (`results/perf_baseline.json`).
+//!
+//! The baseline pins two kinds of floor, each with an **explicit noise
+//! margin** so one noisy CI machine does not block a merge while a real
+//! regression still does:
+//!
+//! * `ratio_floors` — per-microbench minimum `ratio_vs_baseline`
+//!   (optimized-vs-reference speedup). Machine-speed cancels out of a
+//!   ratio, so these floors are tight (`ratio_margin`, fractional).
+//! * `events_per_sec_floors` — per-figure-cell minimum simulation-kernel
+//!   throughput. Raw rates depend on the machine, so the margin
+//!   (`throughput_margin`) is wider.
+//!
+//! A bench passes when `measured ≥ floor × (1 − margin)`. A bench named
+//! in the baseline but missing from the report is a **hard error** (a
+//! deleted bench must be removed from the baseline deliberately, not
+//! silently), as is any malformed, non-finite, or non-positive value —
+//! the gate never "passes by parse failure".
+//!
+//! Policy for *raising or lowering* floors lives in DESIGN.md §12.
+
+use astriflash_analyze::dom::{parse, Value};
+
+/// One floor violation: a measured value under its effective floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Bench or figure-cell name.
+    pub bench: String,
+    /// What was measured.
+    pub measured: f64,
+    /// The pinned floor before margin.
+    pub floor: f64,
+    /// The effective floor after the noise margin.
+    pub effective_floor: f64,
+}
+
+impl Violation {
+    /// One log line naming the offending ratio, printed by the gate bin.
+    pub fn render(&self) -> String {
+        format!(
+            "FAIL {}: measured {:.3} < effective floor {:.3} (pinned {:.3}, measured/pinned = {:.3})",
+            self.bench,
+            self.measured,
+            self.effective_floor,
+            self.floor,
+            self.measured / self.floor,
+        )
+    }
+}
+
+/// Gate outcome for a well-formed report: the checks performed and any
+/// floors violated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Human-readable `name: measured vs floor` lines, one per check.
+    pub checks: Vec<String>,
+    /// Floors that were violated (empty = pass).
+    pub violations: Vec<Violation>,
+}
+
+impl GateReport {
+    /// True when every floor held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Malformed input: a parse failure, a missing required field, or a
+/// value that is not a finite positive number. Always a hard error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateError(pub String);
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn err(msg: impl Into<String>) -> GateError {
+    GateError(msg.into())
+}
+
+/// Extracts a finite, strictly positive number from `obj[key]`.
+/// Anything else — missing key, non-number, NaN/inf literal tricks,
+/// zero, negative — is malformed.
+fn finite_positive(obj: &Value, key: &str, ctx: &str) -> Result<f64, GateError> {
+    let raw = obj
+        .get(key)
+        .ok_or_else(|| err(format!("{ctx}: missing field {key:?}")))?;
+    let text = raw
+        .as_num()
+        .ok_or_else(|| err(format!("{ctx}: field {key:?} is not a number")))?;
+    let v: f64 = text
+        .parse()
+        .map_err(|_| err(format!("{ctx}: field {key:?} = {text:?} does not parse")))?;
+    if !v.is_finite() || v <= 0.0 {
+        return Err(err(format!(
+            "{ctx}: field {key:?} = {text:?} is not a finite positive number"
+        )));
+    }
+    Ok(v)
+}
+
+/// A fractional margin in [0, 1).
+fn margin(obj: &Value, key: &str) -> Result<f64, GateError> {
+    let v = finite_positive(obj, key, "baseline")?;
+    if v >= 1.0 {
+        return Err(err(format!(
+            "baseline: margin {key:?} = {v} must be below 1.0"
+        )));
+    }
+    Ok(v)
+}
+
+/// Collects `{name: floor}` pairs from a baseline section.
+fn floors(baseline: &Value, section: &str) -> Result<Vec<(String, f64)>, GateError> {
+    let obj = baseline
+        .get(section)
+        .ok_or_else(|| err(format!("baseline: missing section {section:?}")))?;
+    let members = match obj {
+        Value::Obj(members) => members,
+        _ => return Err(err(format!("baseline: section {section:?} is not an object"))),
+    };
+    members
+        .iter()
+        .map(|(name, _)| Ok((name.clone(), finite_positive(obj, name, section)?)))
+        .collect()
+}
+
+/// Finds the entry of `arr` whose `"name"` equals `name`.
+fn entry_named<'a>(arr: &'a [Value], name: &str) -> Option<&'a Value> {
+    arr.iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some(name))
+}
+
+/// Runs the gate: parses both documents, checks every pinned floor.
+///
+/// * `Err(GateError)` — malformed report or baseline (hard error);
+/// * `Ok(report)` with violations — well-formed but below a floor;
+/// * `Ok(report)` empty violations — pass.
+pub fn gate(bench_json: &str, baseline_json: &str) -> Result<GateReport, GateError> {
+    let bench = parse(bench_json).map_err(|e| err(format!("bench report: {e}")))?;
+    let baseline = parse(baseline_json).map_err(|e| err(format!("baseline: {e}")))?;
+
+    let ratio_margin = margin(&baseline, "ratio_margin")?;
+    let throughput_margin = margin(&baseline, "throughput_margin")?;
+    let ratio_floors = floors(&baseline, "ratio_floors")?;
+    let rate_floors = floors(&baseline, "events_per_sec_floors")?;
+
+    let micro = bench
+        .get("microbenches")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| err("bench report: missing \"microbenches\" array"))?;
+    let cells = bench
+        .get("figure_cells")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| err("bench report: missing \"figure_cells\" array"))?;
+
+    let mut out = GateReport {
+        checks: Vec::new(),
+        violations: Vec::new(),
+    };
+
+    for (name, floor) in &ratio_floors {
+        let entry = entry_named(micro, name)
+            .ok_or_else(|| err(format!("bench report: microbench {name:?} named in the baseline is missing")))?;
+        let measured = finite_positive(entry, "ratio_vs_baseline", &format!("microbench {name:?}"))?;
+        check(&mut out, name, measured, *floor, ratio_margin, "x");
+    }
+    for (name, floor) in &rate_floors {
+        let entry = entry_named(cells, name)
+            .ok_or_else(|| err(format!("bench report: figure cell {name:?} named in the baseline is missing")))?;
+        let measured = finite_positive(entry, "events_per_sec", &format!("figure cell {name:?}"))?;
+        check(&mut out, name, measured, *floor, throughput_margin, " events/s");
+    }
+    Ok(out)
+}
+
+fn check(out: &mut GateReport, name: &str, measured: f64, floor: f64, margin: f64, unit: &str) {
+    let effective = floor * (1.0 - margin);
+    out.checks.push(format!(
+        "{} {}: measured {measured:.3}{unit} vs floor {floor:.3}{unit} (margin {margin:.2} -> effective {effective:.3})",
+        if measured >= effective { "ok  " } else { "FAIL" },
+        name,
+    ));
+    if measured < effective {
+        out.violations.push(Violation {
+            bench: name.to_owned(),
+            measured,
+            floor,
+            effective_floor: effective,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> String {
+        r#"{
+            "ratio_margin": 0.15,
+            "throughput_margin": 0.30,
+            "ratio_floors": {"event_queue_churn": 3.0},
+            "events_per_sec_floors": {"fig9_astriflash_closed": 163000}
+        }"#
+        .to_owned()
+    }
+
+    fn bench(ratio: &str, rate: &str) -> String {
+        format!(
+            r#"{{
+                "bench": "BENCH_6",
+                "microbenches": [
+                    {{"name": "event_queue_churn", "ratio_vs_baseline": {ratio}}},
+                    {{"name": "unrelated", "ratio_vs_baseline": 0.5}}
+                ],
+                "figure_cells": [
+                    {{"name": "fig9_astriflash_closed", "events_per_sec": {rate}}}
+                ]
+            }}"#
+        )
+    }
+
+    #[test]
+    fn passing_report_passes() {
+        let r = gate(&bench("4.5", "170000"), &baseline()).expect("well-formed");
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        assert_eq!(r.checks.len(), 2);
+    }
+
+    #[test]
+    fn margin_tolerates_noise_below_the_pinned_floor() {
+        // 163000 * (1 - 0.30) = 114100: a measured 120k passes…
+        let r = gate(&bench("4.5", "120000"), &baseline()).expect("well-formed");
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn fails_below_the_effective_throughput_floor() {
+        // …but 100k is under the effective floor and fails.
+        let r = gate(&bench("4.5", "100000"), &baseline()).expect("well-formed");
+        assert!(!r.passed());
+        assert_eq!(r.violations.len(), 1);
+        let v = &r.violations[0];
+        assert_eq!(v.bench, "fig9_astriflash_closed");
+        assert!(v.render().contains("100000"));
+        assert!((v.effective_floor - 114100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fails_below_the_effective_ratio_floor() {
+        // 3.0 * (1 - 0.15) = 2.55: a 2.0x speedup is a regression.
+        let r = gate(&bench("2.0", "170000"), &baseline()).expect("well-formed");
+        assert!(!r.passed());
+        assert_eq!(r.violations[0].bench, "event_queue_churn");
+    }
+
+    #[test]
+    fn missing_bench_is_a_hard_error_not_a_pass() {
+        let report = r#"{
+            "microbenches": [{"name": "other", "ratio_vs_baseline": 9.0}],
+            "figure_cells": [{"name": "fig9_astriflash_closed", "events_per_sec": 170000}]
+        }"#;
+        let e = gate(report, &baseline()).expect_err("must be a hard error");
+        assert!(e.0.contains("event_queue_churn"), "{e}");
+    }
+
+    #[test]
+    fn missing_figure_cell_is_a_hard_error() {
+        let report = r#"{
+            "microbenches": [{"name": "event_queue_churn", "ratio_vs_baseline": 9.0}],
+            "figure_cells": []
+        }"#;
+        let e = gate(report, &baseline()).expect_err("must be a hard error");
+        assert!(e.0.contains("fig9_astriflash_closed"), "{e}");
+    }
+
+    #[test]
+    fn malformed_json_is_a_hard_error() {
+        assert!(gate("{not json", &baseline()).is_err());
+        assert!(gate(&bench("4.5", "170000"), "also not json").is_err());
+    }
+
+    #[test]
+    fn non_numeric_and_nonpositive_fields_are_hard_errors() {
+        // JSON cannot spell NaN; the closest runtime shapes are a string
+        // where a number belongs, a zero, and a negative — all rejected.
+        for bad in [r#""NaN""#, "0", "-3.5"] {
+            let e = gate(&bench(bad, "170000"), &baseline());
+            assert!(e.is_err(), "ratio {bad} must be a hard error");
+        }
+        let e = gate(&bench("4.5", r#""fast""#), &baseline());
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn huge_exponent_infinity_is_a_hard_error() {
+        // 1e999 parses as f64 infinity: not a finite measurement.
+        let e = gate(&bench("1e999", "170000"), &baseline());
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn missing_required_field_is_a_hard_error() {
+        let report = r#"{
+            "microbenches": [{"name": "event_queue_churn"}],
+            "figure_cells": [{"name": "fig9_astriflash_closed", "events_per_sec": 170000}]
+        }"#;
+        let e = gate(report, &baseline()).expect_err("missing ratio field");
+        assert!(e.0.contains("ratio_vs_baseline"), "{e}");
+    }
+
+    #[test]
+    fn baseline_margin_must_be_fractional() {
+        let bad = baseline().replace("0.15", "1.5");
+        assert!(gate(&bench("4.5", "170000"), &bad).is_err());
+    }
+
+    #[test]
+    fn check_lines_name_every_comparison() {
+        let r = gate(&bench("4.5", "170000"), &baseline()).expect("well-formed");
+        assert!(r.checks.iter().any(|c| c.contains("event_queue_churn")));
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| c.contains("fig9_astriflash_closed")));
+    }
+}

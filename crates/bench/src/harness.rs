@@ -1,0 +1,402 @@
+//! Variance-controlled measurement engine (DESIGN.md §12).
+//!
+//! Wall-clock numbers are noisy: CPU frequency drift, cache/TLB state,
+//! page-fault warmup, and scheduler interference all shear individual
+//! repetitions. This module implements the measurement protocol every
+//! perf artifact in the repo follows:
+//!
+//! 1. **warmup-discard** — the first `warmup` repetitions run but are
+//!    thrown away (they pay one-time costs: page faults, branch-predictor
+//!    and cache training, frequency ramp);
+//! 2. **adaptive repetition** — measured repetitions accumulate until
+//!    the sample's coefficient of variation (sample standard deviation /
+//!    mean) falls under `cv_target`, subject to `min_reps` (never trust
+//!    a 2-point CV) and `max_reps` (a hard cap so a noisy machine
+//!    terminates);
+//! 3. **robust reporting** — the *median* is the headline number (robust
+//!    to one-sided interference spikes), alongside min, mean, CV, and
+//!    the rep count, so artifacts record how trustworthy each number is;
+//! 4. **baseline-relative ratios** — comparisons are expressed as
+//!    `baseline_median / optimized_median`, which cancels machine speed
+//!    and is the only form `perf_gate` pins floors on.
+//!
+//! The engine is deliberately timer-agnostic: [`measure_adaptive`] takes
+//! a closure that returns *one repetition's duration* in arbitrary units.
+//! Production callers wrap [`std::time::Instant`]; unit tests inject a
+//! virtual timer and exercise the statistics without any wall clock.
+
+use std::time::Instant;
+
+/// Termination policy for one adaptive measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VarianceConfig {
+    /// Repetitions run and discarded before measuring.
+    pub warmup: usize,
+    /// Minimum measured repetitions before the CV check applies.
+    pub min_reps: usize,
+    /// Hard cap on measured repetitions.
+    pub max_reps: usize,
+    /// Stop once the sample CV is at or below this.
+    pub cv_target: f64,
+}
+
+impl VarianceConfig {
+    /// Full-precision protocol for committed artifacts.
+    pub fn full() -> Self {
+        VarianceConfig {
+            warmup: 2,
+            min_reps: 5,
+            max_reps: 15,
+            cv_target: 0.05,
+        }
+    }
+
+    /// Reduced protocol for CI smoke runs: still statistically formed
+    /// (warmup + ≥3 reps) but bounded to seconds of wall clock.
+    pub fn smoke() -> Self {
+        VarianceConfig {
+            warmup: 1,
+            min_reps: 3,
+            max_reps: 5,
+            cv_target: 0.10,
+        }
+    }
+
+    /// The protocol for `mode` (`--smoke` flag).
+    pub fn for_mode(smoke: bool) -> Self {
+        if smoke {
+            VarianceConfig::smoke()
+        } else {
+            VarianceConfig::full()
+        }
+    }
+}
+
+/// The measured (post-warmup) repetitions of one benchmark, plus the
+/// derived statistics. Units are whatever the rep closure returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    reps: Vec<f64>,
+}
+
+impl Sample {
+    /// Wraps raw repetition durations (used by tests and by callers that
+    /// collect reps themselves, e.g. interleaved A/B measurements).
+    pub fn from_reps(reps: Vec<f64>) -> Self {
+        assert!(!reps.is_empty(), "a sample needs at least one rep");
+        Sample { reps }
+    }
+
+    /// Number of measured repetitions.
+    pub fn reps(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// The raw repetition durations, in measurement order.
+    pub fn raw(&self) -> &[f64] {
+        &self.reps
+    }
+
+    /// Smallest repetition.
+    pub fn min(&self) -> f64 {
+        self.reps.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.reps.iter().sum::<f64>() / self.reps.len() as f64
+    }
+
+    /// Median: middle element for odd rep counts, mean of the two middle
+    /// elements for even counts.
+    pub fn median(&self) -> f64 {
+        let mut sorted = self.reps.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// Coefficient of variation: sample standard deviation (n−1
+    /// denominator) over the mean. Zero for a single rep or a zero mean.
+    pub fn cv(&self) -> f64 {
+        let n = self.reps.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = self
+            .reps
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt() / mean.abs()
+    }
+}
+
+/// Runs the adaptive protocol: `rep()` executes one repetition and
+/// returns its duration. The first `cfg.warmup` calls are discarded;
+/// measurement then continues until the CV target is met (with at least
+/// `min_reps` points) or `max_reps` is reached.
+pub fn measure_adaptive<F: FnMut() -> f64>(cfg: &VarianceConfig, mut rep: F) -> Sample {
+    for _ in 0..cfg.warmup {
+        let _ = rep();
+    }
+    let min_reps = cfg.min_reps.max(1);
+    let max_reps = cfg.max_reps.max(min_reps);
+    let mut reps = Vec::with_capacity(min_reps);
+    loop {
+        reps.push(rep());
+        if reps.len() >= max_reps {
+            break;
+        }
+        if reps.len() >= min_reps && Sample::from_reps(reps.clone()).cv() <= cfg.cv_target {
+            break;
+        }
+    }
+    Sample::from_reps(reps)
+}
+
+/// Adaptive measurement with **setup hoisted out of the timed region**:
+/// each repetition calls `setup()` untimed, then times only
+/// `run(state)`. Returns durations in seconds. This is how figure cells
+/// are measured — `SystemSim` construction (cache arrays, DRAM-prewarm
+/// replay) stays outside the clock.
+pub fn measure_prepared<S, T, R>(cfg: &VarianceConfig, mut setup: S, mut run: R) -> Sample
+where
+    S: FnMut() -> T,
+    R: FnMut(T),
+{
+    measure_adaptive(cfg, || {
+        let state = setup();
+        let start = Instant::now();
+        run(state);
+        start.elapsed().as_secs_f64()
+    })
+}
+
+/// Adaptive per-iteration timing for microbenches: each repetition runs
+/// `iters` iterations of `op` back-to-back and reports **nanoseconds per
+/// iteration**. `iters` should come from [`calibrate_iters`].
+pub fn measure_ns_per_iter<T, F: FnMut() -> T>(
+    cfg: &VarianceConfig,
+    iters: u64,
+    mut op: F,
+) -> Sample {
+    assert!(iters > 0, "calibrated iteration count must be positive");
+    measure_adaptive(cfg, || {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(op());
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    })
+}
+
+/// Picks an iteration count so one repetition of `op` spans roughly
+/// `target_ns` of wall clock: runs doubling probe batches until a batch
+/// exceeds ~1/8 of the target, then extrapolates. Bounded to at least 1.
+pub fn calibrate_iters<T, F: FnMut() -> T>(target_ns: u64, mut op: F) -> u64 {
+    let mut batch = 16u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(op());
+        }
+        let spent = start.elapsed().as_nanos() as u64;
+        if spent * 8 >= target_ns || batch >= 1 << 30 {
+            let per_iter = (spent.max(1)) as f64 / batch as f64;
+            return ((target_ns as f64 / per_iter) as u64).max(1);
+        }
+        batch *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cv_of_known_sample() {
+        // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+        let s = Sample::from_reps(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let expect = (32.0f64 / 7.0).sqrt() / 5.0;
+        assert!((s.cv() - expect).abs() < 1e-12, "cv {} != {expect}", s.cv());
+    }
+
+    #[test]
+    fn cv_degenerate_cases() {
+        assert_eq!(Sample::from_reps(vec![42.0]).cv(), 0.0);
+        assert_eq!(Sample::from_reps(vec![3.0, 3.0, 3.0]).cv(), 0.0);
+        assert_eq!(Sample::from_reps(vec![0.0, 0.0]).cv(), 0.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(Sample::from_reps(vec![5.0, 1.0, 3.0]).median(), 3.0);
+        assert_eq!(Sample::from_reps(vec![4.0, 1.0, 3.0, 2.0]).median(), 2.5);
+        assert_eq!(Sample::from_reps(vec![7.0]).median(), 7.0);
+    }
+
+    #[test]
+    fn min_and_mean() {
+        let s = Sample::from_reps(vec![3.0, 1.0, 2.0]);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn warmup_reps_are_discarded() {
+        // Virtual timer: two slow warmup reps, then fast steady state.
+        let script = [100.0, 100.0, 5.0, 5.0, 5.0, 5.0, 5.0];
+        let mut i = 0;
+        let cfg = VarianceConfig {
+            warmup: 2,
+            min_reps: 3,
+            max_reps: 10,
+            cv_target: 0.05,
+        };
+        let s = measure_adaptive(&cfg, || {
+            let v = script[i];
+            i += 1;
+            v
+        });
+        // The 100s were consumed as warmup and never entered the sample.
+        assert!(s.raw().iter().all(|&v| v == 5.0), "sample {:?}", s.raw());
+        assert_eq!(s.median(), 5.0);
+    }
+
+    #[test]
+    fn adaptive_converges_at_min_reps_on_steady_timer() {
+        let cfg = VarianceConfig {
+            warmup: 1,
+            min_reps: 4,
+            max_reps: 50,
+            cv_target: 0.05,
+        };
+        let mut calls = 0usize;
+        let s = measure_adaptive(&cfg, || {
+            calls += 1;
+            10.0
+        });
+        // Constant durations: CV is 0 at min_reps, so it stops there.
+        assert_eq!(s.reps(), 4);
+        assert_eq!(calls, 1 + 4); // warmup + measured
+    }
+
+    #[test]
+    fn adaptive_hits_the_hard_cap_on_noisy_timer() {
+        let cfg = VarianceConfig {
+            warmup: 0,
+            min_reps: 3,
+            max_reps: 8,
+            cv_target: 0.01,
+        };
+        // Alternating 1/100: CV stays enormous, so only the cap stops it.
+        let mut i = 0u64;
+        let s = measure_adaptive(&cfg, || {
+            i += 1;
+            if i.is_multiple_of(2) {
+                100.0
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(s.reps(), 8);
+        assert!(s.cv() > 0.5);
+    }
+
+    #[test]
+    fn adaptive_keeps_measuring_until_cv_settles() {
+        // Noisy head, steady tail: must pass min_reps without stopping,
+        // then stop as soon as the window's CV reaches the target.
+        let script = [10.0, 200.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0, 10.0];
+        let mut i = 0;
+        let cfg = VarianceConfig {
+            warmup: 0,
+            min_reps: 3,
+            max_reps: 10,
+            cv_target: 0.05,
+        };
+        let s = measure_adaptive(&cfg, || {
+            let v = script[i];
+            i += 1;
+            v
+        });
+        // CV over a prefix containing the 200 spike never reaches 5 %,
+        // so it runs to the cap — and the median shrugs the spike off.
+        assert_eq!(s.reps(), 10);
+        assert_eq!(s.median(), 10.0);
+    }
+
+    #[test]
+    fn deterministic_under_a_fixed_virtual_timer() {
+        let cfg = VarianceConfig::full();
+        let run = || {
+            let mut x = 7.0;
+            measure_adaptive(&cfg, move || {
+                x += 1.0;
+                x
+            })
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn min_reps_is_clamped_to_at_least_one() {
+        let cfg = VarianceConfig {
+            warmup: 0,
+            min_reps: 0,
+            max_reps: 0,
+            cv_target: 0.0,
+        };
+        let s = measure_adaptive(&cfg, || 1.0);
+        assert_eq!(s.reps(), 1);
+    }
+
+    #[test]
+    fn prepared_measurement_excludes_setup_cost() {
+        // Setup sleeps 20 ms per rep; the timed region is a no-op. If
+        // setup leaked into the clock the median would be ≥ 20 ms; the
+        // no-op bound (1 ms, generous for CI) proves it is hoisted.
+        let cfg = VarianceConfig {
+            warmup: 0,
+            min_reps: 3,
+            max_reps: 3,
+            cv_target: 0.0,
+        };
+        let expensive = measure_prepared(
+            &cfg,
+            || std::thread::sleep(std::time::Duration::from_millis(20)),
+            |()| {},
+        );
+        let noop = measure_prepared(&cfg, || {}, |()| {});
+        assert!(
+            expensive.median() < 1e-3,
+            "setup cost leaked into the timed region: median {} s",
+            expensive.median()
+        );
+        assert!(noop.median() < 1e-3);
+    }
+
+    #[test]
+    fn calibrate_extrapolates_to_target() {
+        // A ~1 µs op and a 100 µs target should land within an order of
+        // magnitude of 100 iterations (coarse: timers jitter).
+        let iters = calibrate_iters(100_000, || std::thread::sleep(std::time::Duration::ZERO));
+        assert!(iters >= 1);
+    }
+
+    #[test]
+    fn mode_selects_protocol() {
+        assert_eq!(VarianceConfig::for_mode(false), VarianceConfig::full());
+        assert_eq!(VarianceConfig::for_mode(true), VarianceConfig::smoke());
+    }
+}

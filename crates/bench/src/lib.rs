@@ -5,6 +5,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+pub mod harness;
 pub mod timing;
 
 use astriflash_core::config::SystemConfig;

@@ -99,22 +99,63 @@ impl Experiment {
         self
     }
 
-    /// Runs the simulation.
-    pub fn run(self) -> RunReport {
+    /// Builds the [`SystemSim`] (allocation-heavy: cache arrays, DRAM
+    /// prewarm replay) without running it, so callers that time the
+    /// simulation — the perf harness above all — can keep construction
+    /// cost out of the measured region. [`Experiment::run`] is exactly
+    /// `prepare().run()`, so prepared and direct runs are bit-identical.
+    pub fn prepare(self) -> PreparedRun {
         let cores = self.cfg.cores;
         let workload = self.cfg.workload;
         let mut sim = SystemSim::new(self.cfg, self.configuration, self.seed);
         if self.tracer.enabled() {
             sim.set_tracer(self.tracer);
         }
-        let stats = match self.mode {
+        PreparedRun {
+            sim,
+            mode: self.mode,
+            configuration: self.configuration,
+            workload: workload.name(),
+            cores,
+        }
+    }
+
+    /// Runs the simulation.
+    pub fn run(self) -> RunReport {
+        self.prepare().run()
+    }
+}
+
+/// A fully constructed simulation that has not started executing yet:
+/// the output of [`Experiment::prepare`]. Consuming [`PreparedRun::run`]
+/// performs only the event-loop work, so wall-clock timing around it
+/// excludes setup cost.
+pub struct PreparedRun {
+    sim: SystemSim,
+    mode: Load,
+    configuration: Configuration,
+    workload: &'static str,
+    cores: usize,
+}
+
+impl PreparedRun {
+    /// Executes the prepared simulation to completion.
+    pub fn run(self) -> RunReport {
+        let PreparedRun {
+            sim,
+            mode,
+            configuration,
+            workload,
+            cores,
+        } = self;
+        let stats = match mode {
             Load::Closed { jobs_per_core } => sim.run_closed_loop(jobs_per_core),
             Load::Open {
                 mean_interarrival_ns,
                 total_jobs,
             } => sim.run_open_loop(mean_interarrival_ns, total_jobs),
         };
-        RunReport::from_stats(self.configuration, workload.name(), cores, stats)
+        RunReport::from_stats(configuration, workload, cores, stats)
     }
 }
 
@@ -290,6 +331,25 @@ mod tests {
             .open_loop(40_000.0, 100)
             .run();
         assert!(r.p99_response_ns >= r.p99_service_ns);
+    }
+
+    #[test]
+    fn prepared_run_matches_direct_run() {
+        let direct = Experiment::new(cfg(), Configuration::AstriFlash)
+            .seed(7)
+            .jobs_per_core(25)
+            .run();
+        let prepared = Experiment::new(cfg(), Configuration::AstriFlash)
+            .seed(7)
+            .jobs_per_core(25)
+            .prepare()
+            .run();
+        assert_eq!(
+            direct.throughput_jobs_per_sec.to_bits(),
+            prepared.throughput_jobs_per_sec.to_bits()
+        );
+        assert_eq!(direct.events_processed, prepared.events_processed);
+        assert_eq!(direct.render(), prepared.render());
     }
 
     #[test]

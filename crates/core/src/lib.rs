@@ -41,7 +41,7 @@ pub mod sweep;
 pub mod system;
 
 pub use config::{Configuration, SystemConfig};
-pub use experiment::{Experiment, Load, RunReport};
+pub use experiment::{Experiment, Load, PreparedRun, RunReport};
 pub use queueing::QueueModel;
 pub use sweep::{Cell, Sweep};
 pub use system::SystemSim;

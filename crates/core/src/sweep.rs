@@ -33,7 +33,7 @@ use astriflash_sim::rng::derive_seed;
 use astriflash_trace::Tracer;
 
 use crate::config::{Configuration, SystemConfig};
-use crate::experiment::{Experiment, Load, RunReport};
+use crate::experiment::{Experiment, Load, PreparedRun, RunReport};
 
 /// One independent simulation cell of a sweep grid.
 #[derive(Debug, Clone)]
@@ -93,10 +93,17 @@ impl Cell {
 
     /// Runs this cell synchronously on the calling thread.
     pub fn run(&self) -> RunReport {
+        self.prepare().run()
+    }
+
+    /// Builds this cell's simulation without running it (see
+    /// [`Experiment::prepare`]): the perf harness prepares outside the
+    /// timed region and times only [`PreparedRun::run`].
+    pub fn prepare(&self) -> PreparedRun {
         Experiment::new(self.cfg.clone(), self.configuration)
             .seed(self.seed)
             .load(self.load)
-            .run()
+            .prepare()
     }
 
     /// Runs this cell with an observability tracer attached. The report

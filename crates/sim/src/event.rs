@@ -3,16 +3,24 @@
 //! Events are ordered by timestamp; ties are broken by insertion order so
 //! a simulation is a deterministic function of its inputs.
 //!
-//! Two implementations share the same contract:
+//! Three implementations share the same contract:
 //!
-//! * [`EventQueue`] — a hierarchical timer wheel, the production queue.
-//!   Scheduling and popping are O(1) amortized regardless of how many
-//!   events are pending, which matters because the simulator's inner loop
-//!   is dominated by queue traffic (every core hop, flash read, and timer
-//!   is an event).
+//! * [`EventQueue`] — a hierarchical timer wheel with **batched slot
+//!   dispatch**, the production queue. Scheduling and popping are O(1)
+//!   amortized regardless of how many events are pending, which matters
+//!   because the simulator's inner loop is dominated by queue traffic
+//!   (every core hop, flash read, and timer is an event). When the pop
+//!   path reaches a level-0 slot it drains the *whole* slot in one pass
+//!   into a pooled ready buffer (sorted by sequence number once), so the
+//!   per-level candidate scan and the FIFO tie-break are amortized over
+//!   every event sharing that timestamp instead of being paid per pop.
+//! * [`ScanEventQueue`] — the pre-batching timer wheel (per-pop candidate
+//!   scan and per-pop min-sequence selection), retained as the reference
+//!   the batched drain is differentially tested against and as the
+//!   baseline for the `slot_drain` perf pair.
 //! * [`HeapEventQueue`] — the original `BinaryHeap` queue, kept as the
-//!   reference model for differential tests and as the baseline for the
-//!   `perf_report` / components benchmarks.
+//!   executable specification of the contract and as the baseline for
+//!   the `event_queue_churn` perf pair.
 //!
 //! The wheel has [`LEVELS`] levels of [`SLOTS`] slots each; level `L`
 //! slots span `64^L` ns, so the wheel covers `64^7 = 2^42` ns (≈ 73
@@ -76,6 +84,16 @@ pub struct EventQueue<E> {
     /// Earliest overflow timestamp (`u64::MAX` when overflow is empty),
     /// so the pop loop can tell when overflow is due without scanning.
     overflow_min: u64,
+    /// Batched-dispatch buffer: the most recently drained level-0 slot,
+    /// sorted by sequence number **descending** so FIFO delivery is a
+    /// `Vec::pop` from the back. All entries share one timestamp (a
+    /// level-0 slot spans a single tick), which is what makes draining
+    /// ahead of delivery safe: nothing scheduled later can come due
+    /// before the buffer is empty, and same-tick events scheduled while
+    /// the buffer drains carry higher sequence numbers, so they land in
+    /// the (now empty) slot and are delivered after it — exactly the
+    /// per-pop order. The buffer's allocation is pooled across drains.
+    ready: Vec<Entry<E>>,
     /// Pending event count (wheel + overflow).
     pending: usize,
     seq: u64,
@@ -95,6 +113,7 @@ impl<E> EventQueue<E> {
             occupied: [0; LEVELS],
             overflow: Vec::new(),
             overflow_min: u64::MAX,
+            ready: Vec::new(),
             pending: 0,
             seq: 0,
             now: SimTime::ZERO,
@@ -139,10 +158,34 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty.
+    ///
+    /// Batched dispatch: the common case is a `Vec::pop` from the ready
+    /// buffer filled by [`Self::drain_slot`]; the candidate scan and any
+    /// cascades run only once per level-0 slot, not once per event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.pending == 0 {
-            return None;
-        }
+        let entry = match self.ready.pop() {
+            Some(entry) => entry,
+            None => {
+                if self.pending == 0 {
+                    return None;
+                }
+                self.drain_slot();
+                self.ready.pop().expect("drain_slot fills the buffer")
+            }
+        };
+        self.pending -= 1;
+        self.popped_total += 1;
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Advances the wheel (cascading higher levels, folding overflow back
+    /// in) until a level-0 slot is due, then drains that whole slot into
+    /// the ready buffer in one pass, sorted for FIFO delivery.
+    ///
+    /// Caller guarantees `pending > 0` and `ready` is empty.
+    fn drain_slot(&mut self) {
+        debug_assert!(self.ready.is_empty() && self.pending > 0);
         loop {
             let candidate = self.next_candidate();
             // An overflow event may have become due before everything in
@@ -156,37 +199,39 @@ impl<E> EventQueue<E> {
             }
             match candidate {
                 Some((0, slot, tick)) => {
-                    // Level-0 slots span a single tick, so `tick` is the
-                    // exact timestamp; pop the lowest sequence number for
-                    // FIFO among same-timestamp events.
-                    let bucket = &mut self.slots[slot];
-                    let mut best = 0;
-                    for i in 1..bucket.len() {
-                        if bucket[i].seq < bucket[best].seq {
-                            best = i;
-                        }
+                    // Level-0 slots span a single tick, so every entry
+                    // shares the timestamp `tick`: take the whole slot in
+                    // one pass and order it by sequence number once
+                    // (descending, so delivery pops from the back). Both
+                    // buffers keep their capacity — the slot's for future
+                    // inserts, the ready buffer's for future drains.
+                    debug_assert!(self.slots[slot].iter().all(|e| e.at.as_ns() == tick));
+                    let ready = &mut self.ready;
+                    ready.append(&mut self.slots[slot]);
+                    self.occupied[0] &= !(1 << slot);
+                    if self.ready.len() > 1 {
+                        self.ready
+                            .sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
                     }
-                    let entry = bucket.swap_remove(best);
-                    if bucket.is_empty() {
-                        self.occupied[0] &= !(1 << slot);
-                    }
-                    debug_assert_eq!(entry.at.as_ns(), tick);
                     self.elapsed = tick;
-                    self.pending -= 1;
-                    self.popped_total += 1;
-                    self.now = entry.at;
-                    return Some((entry.at, entry.payload));
+                    return;
                 }
                 Some((level, slot, slot_start)) => {
                     // Cascade: advance the cursor to the slot's start and
-                    // redistribute its entries into lower levels.
-                    let bucket = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+                    // redistribute its entries into lower levels. `drain`
+                    // (rather than consuming the Vec) keeps the slot's
+                    // allocation for the next events that land in it; a
+                    // cascading entry never re-files into the slot it
+                    // came from (its delta shrinks below the level span).
+                    let idx = level * SLOTS + slot;
+                    let mut bucket = std::mem::take(&mut self.slots[idx]);
                     self.occupied[level] &= !(1 << slot);
                     self.elapsed = slot_start;
                     self.pending -= bucket.len();
-                    for entry in bucket {
+                    for entry in bucket.drain(..) {
                         self.insert(entry);
                     }
+                    self.slots[idx] = bucket;
                 }
                 None => unreachable!("pending events but empty wheel and overflow"),
             }
@@ -196,11 +241,13 @@ impl<E> EventQueue<E> {
     /// Timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         // Rarely used (nothing on the hot path peeks), so a plain scan of
-        // every pending entry keeps this trivially correct.
+        // every pending entry — including any drained-but-undelivered
+        // ready batch — keeps this trivially correct.
         self.slots
             .iter()
             .flatten()
             .chain(self.overflow.iter())
+            .chain(self.ready.iter())
             .map(|e| e.at)
             .min()
     }
@@ -333,6 +380,240 @@ impl<E> EventQueue<E> {
 }
 
 impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The pre-batching hierarchical timer wheel: per-pop candidate scan and
+/// per-pop min-sequence selection inside the level-0 slot.
+///
+/// Retained as the executable specification the batched [`EventQueue`]
+/// drain is differentially tested against (`tests/kernel_properties.rs`)
+/// and as the baseline of the `slot_drain` pair in `perf_report`. The
+/// algorithm is byte-for-byte the wheel as it shipped before batched
+/// dispatch; only the slot-drain/delivery mechanics differ from
+/// [`EventQueue`], so a divergence in their pop streams isolates the
+/// batching as the cause.
+#[derive(Debug)]
+pub struct ScanEventQueue<E> {
+    slots: Box<[Vec<Entry<E>>]>,
+    occupied: [u64; LEVELS],
+    overflow: Vec<Entry<E>>,
+    overflow_min: u64,
+    pending: usize,
+    seq: u64,
+    now: SimTime,
+    elapsed: u64,
+    scheduled_total: u64,
+    popped_total: u64,
+}
+
+impl<E> ScanEventQueue<E> {
+    /// Creates an empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        ScanEventQueue {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            pending: 0,
+            seq: 0,
+            now: SimTime::ZERO,
+            elapsed: 0,
+            scheduled_total: 0,
+            popped_total: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at` (clamped to `now`).
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: at={at} now={}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let entry = Entry {
+            at,
+            seq: self.seq,
+            payload,
+        };
+        self.seq += 1;
+        self.scheduled_total += 1;
+        self.insert(entry);
+    }
+
+    /// Schedules `payload` at `now + delay_ns`.
+    pub fn schedule_after_ns(&mut self, delay_ns: u64, payload: E) {
+        let at = self.now + crate::time::SimDuration::from_ns(delay_ns);
+        self.schedule(at, payload);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Per-pop scan (the pre-batching algorithm).
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.pending == 0 {
+            return None;
+        }
+        loop {
+            let candidate = self.next_candidate();
+            if self.overflow_min <= candidate.map_or(u64::MAX, |(_, _, start)| start) {
+                self.refill_from_overflow();
+                continue;
+            }
+            match candidate {
+                Some((0, slot, tick)) => {
+                    let bucket = &mut self.slots[slot];
+                    let mut best = 0;
+                    for i in 1..bucket.len() {
+                        if bucket[i].seq < bucket[best].seq {
+                            best = i;
+                        }
+                    }
+                    let entry = bucket.swap_remove(best);
+                    if bucket.is_empty() {
+                        self.occupied[0] &= !(1 << slot);
+                    }
+                    debug_assert_eq!(entry.at.as_ns(), tick);
+                    self.elapsed = tick;
+                    self.pending -= 1;
+                    self.popped_total += 1;
+                    self.now = entry.at;
+                    return Some((entry.at, entry.payload));
+                }
+                Some((level, slot, slot_start)) => {
+                    let bucket = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+                    self.occupied[level] &= !(1 << slot);
+                    self.elapsed = slot_start;
+                    self.pending -= bucket.len();
+                    for entry in bucket {
+                        self.insert(entry);
+                    }
+                }
+                None => unreachable!("pending events but empty wheel and overflow"),
+            }
+        }
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.slots
+            .iter()
+            .flatten()
+            .chain(self.overflow.iter())
+            .map(|e| e.at)
+            .min()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Total events ever scheduled.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Total events ever popped.
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
+    }
+
+    /// Advances the clock without an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is before the current time.
+    pub fn advance_to(&mut self, to: SimTime) {
+        assert!(to >= self.now, "cannot advance clock backwards");
+        self.now = to;
+    }
+
+    fn insert(&mut self, entry: Entry<E>) {
+        let tick = entry.at.as_ns();
+        debug_assert!(tick >= self.elapsed);
+        let delta = tick - self.elapsed;
+        if delta >= WHEEL_SPAN {
+            self.overflow_min = self.overflow_min.min(tick);
+            self.overflow.push(entry);
+        } else {
+            let level = if delta < SLOTS as u64 {
+                0
+            } else {
+                ((63 - delta.leading_zeros()) / SLOT_BITS) as usize
+            };
+            let slot = ((tick >> (SLOT_BITS * level as u32)) & SLOT_MASK) as usize;
+            self.slots[level * SLOTS + slot].push(entry);
+            self.occupied[level] |= 1 << slot;
+        }
+        self.pending += 1;
+    }
+
+    fn next_candidate(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for level in 0..LEVELS {
+            let occ = self.occupied[level];
+            if occ == 0 {
+                continue;
+            }
+            let shift = SLOT_BITS * level as u32;
+            let width = 1u64 << shift;
+            let range = width << SLOT_BITS;
+            let pos = ((self.elapsed >> shift) & SLOT_MASK) as u32;
+            let base = self.elapsed & !(range - 1);
+            let aligned = self.elapsed & (width - 1) == 0;
+            let ahead = if aligned {
+                occ & (u64::MAX << pos)
+            } else {
+                occ & ((u64::MAX << pos) << 1)
+            };
+            let (slot, start) = if ahead != 0 {
+                let s = ahead.trailing_zeros();
+                (s as usize, base + u64::from(s) * width)
+            } else {
+                let s = occ.trailing_zeros();
+                (s as usize, base + range + u64::from(s) * width)
+            };
+            if best.is_none_or(|(_, _, b)| start <= b) {
+                best = Some((level, slot, start));
+            }
+        }
+        best
+    }
+
+    fn refill_from_overflow(&mut self) {
+        let min_tick = self.overflow_min;
+        debug_assert!(min_tick >= self.elapsed && !self.overflow.is_empty());
+        self.elapsed = min_tick;
+        self.overflow_min = u64::MAX;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            let tick = self.overflow[i].at.as_ns();
+            if tick - min_tick < WHEEL_SPAN {
+                let entry = self.overflow.swap_remove(i);
+                self.pending -= 1; // insert() re-counts it
+                self.insert(entry);
+            } else {
+                self.overflow_min = self.overflow_min.min(tick);
+                i += 1;
+            }
+        }
+    }
+}
+
+impl<E> Default for ScanEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -597,6 +878,70 @@ mod tests {
         q.pop();
         assert_eq!(q.popped_total(), 2);
         assert_eq!(q.scheduled_total(), 5);
+    }
+
+    #[test]
+    fn batched_drain_preserves_fifo_within_a_tick() {
+        // A burst of same-timestamp events is drained in one pass and
+        // must still deliver in insertion order, interleaved with events
+        // scheduled at the same tick *while* the batch drains.
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_ns(5), i);
+        }
+        // Deliver half the batch, then add two more at the same tick.
+        for i in 0..5 {
+            assert_eq!(q.pop().map(|(_, e)| e), Some(i));
+        }
+        q.schedule(SimTime::from_ns(5), 10);
+        q.schedule(SimTime::from_ns(5), 11);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![5, 6, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn peek_and_len_see_the_ready_batch() {
+        let mut q = EventQueue::new();
+        for i in 0..4 {
+            q.schedule(SimTime::from_ns(9), i);
+        }
+        q.schedule(SimTime::from_ns(100), 99);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(0)); // drains the tick-9 slot
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(9)));
+        assert_eq!(q.popped_total(), 1);
+    }
+
+    #[test]
+    fn scan_reference_matches_batched_wheel_on_dense_pattern() {
+        let mut batched = EventQueue::new();
+        let mut scan = ScanEventQueue::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut tag = 0u64;
+        for round in 0..3_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(round | 1);
+            // Bursts: several events at one delay to exercise the batch.
+            let delay = state >> 48;
+            let burst = 1 + (state >> 62);
+            for _ in 0..burst {
+                batched.schedule_after_ns(delay, tag);
+                scan.schedule_after_ns(delay, tag);
+                tag += 1;
+            }
+            let b = batched.pop();
+            let s = scan.pop();
+            assert_eq!(b, s);
+            assert_eq!(batched.now(), scan.now());
+            assert_eq!(batched.len(), scan.len());
+            assert_eq!(batched.popped_total(), scan.popped_total());
+        }
+        loop {
+            let b = batched.pop();
+            assert_eq!(b, scan.pop());
+            if b.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Property tests of the simulation kernel primitives.
 
 use astriflash_sim::{
-    BandwidthLink, BoundedQueue, EventQueue, HeapEventQueue, PageMap, SimDuration, SimRng, SimTime,
+    BandwidthLink, BoundedQueue, EventQueue, HeapEventQueue, PageMap, ScanEventQueue, SimDuration,
+    SimRng, SimTime,
 };
 use astriflash_testkit::prop_check;
 
@@ -121,6 +122,98 @@ fn event_queue_matches_heap_reference() {
             }
         }
         assert_eq!(wheel.scheduled_total(), heap.scheduled_total());
+    });
+}
+
+/// Differential test of **batched slot dispatch**: the production
+/// [`EventQueue`] (whole-slot drain into a pooled, seq-sorted ready
+/// buffer) must deliver the exact same `(timestamp, payload)` stream as
+/// the retained pre-batching [`ScanEventQueue`] *and* the
+/// [`HeapEventQueue`] specification, under randomized interleaved
+/// push/pop/advance schedules. The delay mix deliberately stresses the
+/// batching-specific cases:
+///
+/// * same-tick ties — bursts of events at one exact timestamp, including
+///   events scheduled *at the current tick while its drained batch is
+///   still delivering* (they must come after the whole batch, by seq);
+/// * far-future rotations — delays beyond the 2^42 ns wheel horizon that
+///   park in overflow and fold back in mid-drain.
+#[test]
+fn batched_drain_matches_scan_and_heap_references() {
+    prop_check!(cases: 64, |g| {
+        let mut batched: EventQueue<u64> = EventQueue::new();
+        let mut scan: ScanEventQueue<u64> = ScanEventQueue::new();
+        let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
+        let rounds = g.usize_in(1..300);
+        let mut tag = 0u64;
+        for _ in 0..rounds {
+            match g.usize_in(0..8) {
+                // Burst at a single timestamp (same-tick FIFO ties).
+                0..=1 => {
+                    let delay = match g.usize_in(0..4) {
+                        0 => 0, // at `now`: lands behind any in-flight batch
+                        1 => g.u64_in(0..64),
+                        2 => g.u64_in(0..100_000),
+                        _ => g.u64_in(1 << 42..1 << 50), // overflow rotation
+                    };
+                    let burst = g.usize_in(1..12);
+                    for _ in 0..burst {
+                        batched.schedule_after_ns(delay, tag);
+                        scan.schedule_after_ns(delay, tag);
+                        heap.schedule_after_ns(delay, tag);
+                        tag += 1;
+                    }
+                }
+                // Scatter of independent delays.
+                2..=4 => {
+                    let n = g.usize_in(1..8);
+                    for _ in 0..n {
+                        let span_bits = g.u32_in(1..44);
+                        let delay = g.u64_in(0..1 << span_bits);
+                        batched.schedule_after_ns(delay, tag);
+                        scan.schedule_after_ns(delay, tag);
+                        heap.schedule_after_ns(delay, tag);
+                        tag += 1;
+                    }
+                }
+                // Pops, checked in lockstep across all three.
+                5..=6 => {
+                    let pops = g.usize_in(1..10);
+                    for _ in 0..pops {
+                        let b = batched.pop();
+                        assert_eq!(b, scan.pop(), "batched vs scan diverged");
+                        assert_eq!(b, heap.pop(), "batched vs heap diverged");
+                        assert_eq!(batched.now(), scan.now());
+                        assert_eq!(batched.now(), heap.now());
+                        assert_eq!(batched.len(), scan.len());
+                        assert_eq!(batched.peek_time(), scan.peek_time());
+                    }
+                }
+                // Event-free clock advance (statistics-window close).
+                _ => {
+                    // Only legal when it does not step over pending
+                    // events' delivery times moving `now` past them is
+                    // fine for the contract, but keep all three in
+                    // lockstep regardless.
+                    let d = g.u64_in(0..10_000);
+                    let to = batched.now() + SimDuration::from_ns(d);
+                    batched.advance_to(to);
+                    scan.advance_to(to);
+                    heap.advance_to(to);
+                }
+            }
+        }
+        // Drain fully; every queue must agree to the end.
+        loop {
+            let b = batched.pop();
+            assert_eq!(b, scan.pop(), "drain: batched vs scan diverged");
+            assert_eq!(b, heap.pop(), "drain: batched vs heap diverged");
+            if b.is_none() {
+                break;
+            }
+        }
+        assert_eq!(batched.scheduled_total(), scan.scheduled_total());
+        assert_eq!(batched.popped_total(), scan.popped_total());
     });
 }
 

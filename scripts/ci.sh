@@ -42,11 +42,15 @@ cargo run --release -q -p astriflash-bench --bin latency_breakdown -- --quick
 test -s results/latency_breakdown.txt
 test -s results/latency_breakdown.csv
 
-echo "==> perf_report smoke (kernel perf baseline, record-only)"
-# Validates the BENCH_5.json schema end-to-end at reduced scale. The
-# numbers are environment-dependent and deliberately not gated; the
-# committed full-mode report is the reference.
-cargo run --release -q -p astriflash-bench --bin perf_report -- --smoke
-test -s results/BENCH_5.json
+echo "==> perf lane: perf_report (full, release) + perf_gate"
+# Variance-controlled measurement (DESIGN.md §12): warmup-discard,
+# adaptive reps to a CV target, medians + baseline-relative ratios into
+# results/BENCH_6.json. perf_gate then checks every pinned floor in
+# results/perf_baseline.json (with its explicit noise margins) and
+# exits non-zero on any violation, printing the offending ratios —
+# perf regressions are un-mergeable, not merely recorded.
+cargo run --release -q -p astriflash-bench --bin perf_report
+test -s results/BENCH_6.json
+cargo run --release -q -p astriflash-bench --bin perf_gate
 
 echo "CI green."
