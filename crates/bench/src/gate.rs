@@ -177,6 +177,132 @@ pub fn gate(bench_json: &str, baseline_json: &str) -> Result<GateReport, GateErr
     Ok(out)
 }
 
+/// How far below the measured median a freshly written floor sits.
+/// Floors are deliberately below the median (DESIGN.md §12: the margin
+/// is for machine noise, not headroom) — ratios are machine-independent
+/// so their floors sit closer; events/s floors leave more room.
+const RATIO_FLOOR_FRACTION: f64 = 0.9;
+const RATE_FLOOR_FRACTION: f64 = 0.75;
+
+/// Rounds `v` down to a multiple of `step` (keeps written floors tidy
+/// and bit-stable across runs that measure within the same step).
+fn round_down(v: f64, step: f64) -> f64 {
+    (v / step).floor() * step
+}
+
+/// Rewrites the baseline from a BENCH report: every microbench gets a
+/// ratio floor at [`RATIO_FLOOR_FRACTION`] of its measured ratio
+/// (rounded down to 0.1), every figure cell an events/s floor at
+/// [`RATE_FLOOR_FRACTION`] of its measured rate (rounded down to 1000).
+/// Margins and the policy line carry over from the old baseline.
+///
+/// Per DESIGN.md §12, lowering a floor is accepting a regression — so
+/// if any newly computed floor is *below* the old baseline's pinned
+/// value this refuses with a hard error naming every offender, unless
+/// `allow_lower` is set. Returns the new baseline JSON text.
+pub fn write_baseline(
+    bench_json: &str,
+    old_baseline_json: &str,
+    allow_lower: bool,
+    updated: &str,
+) -> Result<String, GateError> {
+    let bench = parse(bench_json).map_err(|e| err(format!("bench report: {e}")))?;
+    let old = parse(old_baseline_json).map_err(|e| err(format!("baseline: {e}")))?;
+
+    let ratio_margin = margin(&old, "ratio_margin")?;
+    let throughput_margin = margin(&old, "throughput_margin")?;
+    let old_ratio_floors = floors(&old, "ratio_floors")?;
+    let old_rate_floors = floors(&old, "events_per_sec_floors")?;
+    let old_floor = |set: &[(String, f64)], name: &str| -> Option<f64> {
+        set.iter().find(|(n, _)| n == name).map(|&(_, f)| f)
+    };
+
+    let bench_name = bench
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("bench report: missing \"bench\" name"))?
+        .to_owned();
+    let micro = bench
+        .get("microbenches")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| err("bench report: missing \"microbenches\" array"))?;
+    let cells = bench
+        .get("figure_cells")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| err("bench report: missing \"figure_cells\" array"))?;
+    if micro.is_empty() || cells.is_empty() {
+        return Err(err("bench report: refusing to write a baseline with no floors"));
+    }
+
+    let mut lowered: Vec<String> = Vec::new();
+    let mut ratio_floors: Vec<(String, f64)> = Vec::new();
+    for entry in micro {
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("bench report: microbench without a \"name\""))?
+            .to_owned();
+        let measured = finite_positive(entry, "ratio_vs_baseline", &format!("microbench {name:?}"))?;
+        let new = round_down(measured * RATIO_FLOOR_FRACTION, 0.1).max(0.1);
+        if let Some(old_f) = old_floor(&old_ratio_floors, &name) {
+            if new < old_f {
+                lowered.push(format!(
+                    "ratio floor {name:?}: {old_f:.1} -> {new:.1} (measured {measured:.3})"
+                ));
+            }
+        }
+        ratio_floors.push((name, new));
+    }
+    let mut rate_floors: Vec<(String, f64)> = Vec::new();
+    for entry in cells {
+        let name = entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| err("bench report: figure cell without a \"name\""))?
+            .to_owned();
+        let measured = finite_positive(entry, "events_per_sec", &format!("figure cell {name:?}"))?;
+        let new = round_down(measured * RATE_FLOOR_FRACTION, 1000.0).max(1000.0);
+        if let Some(old_f) = old_floor(&old_rate_floors, &name) {
+            if new < old_f {
+                lowered.push(format!(
+                    "events/s floor {name:?}: {old_f:.0} -> {new:.0} (measured {measured:.0})"
+                ));
+            }
+        }
+        rate_floors.push((name, new));
+    }
+    if !lowered.is_empty() && !allow_lower {
+        return Err(err(format!(
+            "refusing to lower pinned floors (pass --allow-lower to accept the regression):\n  {}",
+            lowered.join("\n  ")
+        )));
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"baseline\": \"{bench_name}\",\n"));
+    out.push_str(&format!("  \"updated\": \"{updated}\",\n"));
+    out.push_str(
+        "  \"policy\": \"DESIGN.md section 12: floors move only in a dedicated commit that explains why\",\n",
+    );
+    out.push_str(&format!("  \"ratio_margin\": {ratio_margin:.2},\n"));
+    out.push_str(&format!("  \"throughput_margin\": {throughput_margin:.2},\n"));
+    out.push_str("  \"ratio_floors\": {\n");
+    for (i, (name, f)) in ratio_floors.iter().enumerate() {
+        let sep = if i + 1 < ratio_floors.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {f:.1}{sep}\n"));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"events_per_sec_floors\": {\n");
+    for (i, (name, f)) in rate_floors.iter().enumerate() {
+        let sep = if i + 1 < rate_floors.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {f:.0}{sep}\n"));
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    Ok(out)
+}
+
 fn check(out: &mut GateReport, name: &str, measured: f64, floor: f64, margin: f64, unit: &str) {
     let effective = floor * (1.0 - margin);
     out.checks.push(format!(
@@ -316,6 +442,63 @@ mod tests {
     fn baseline_margin_must_be_fractional() {
         let bad = baseline().replace("0.15", "1.5");
         assert!(gate(&bench("4.5", "170000"), &bad).is_err());
+    }
+
+    #[test]
+    fn write_baseline_pins_floors_below_the_measurements() {
+        let new = write_baseline(&bench("4.5", "250000"), &baseline(), false, "2026-01-02")
+            .expect("well-formed");
+        // 4.5 * 0.9 = 4.05 -> 4.0; 250000 * 0.75 = 187500 -> 187000.
+        assert!(new.contains("\"event_queue_churn\": 4.0"), "{new}");
+        assert!(new.contains("\"unrelated\": 0.4"), "{new}");
+        assert!(new.contains("\"fig9_astriflash_closed\": 187000"), "{new}");
+        assert!(new.contains("\"updated\": \"2026-01-02\""), "{new}");
+        assert!(new.contains("\"baseline\": \"BENCH_6\""), "{new}");
+        // Margins carry over from the old baseline.
+        assert!(new.contains("\"ratio_margin\": 0.15"), "{new}");
+        assert!(new.contains("\"throughput_margin\": 0.30"), "{new}");
+    }
+
+    #[test]
+    fn written_baseline_round_trips_through_the_gate() {
+        let report = bench("4.5", "250000");
+        let new = write_baseline(&report, &baseline(), false, "2026-01-02").expect("writes");
+        let r = gate(&report, &new).expect("new baseline is well-formed");
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        // Both sections gained a floor per report entry.
+        assert_eq!(r.checks.len(), 3); // 2 microbenches + 1 figure cell
+    }
+
+    #[test]
+    fn write_baseline_refuses_to_lower_rate_floors() {
+        // 150000 * 0.75 = 112500 -> 112000 < pinned 163000.
+        let e = write_baseline(&bench("4.5", "150000"), &baseline(), false, "2026-01-02")
+            .expect_err("must refuse");
+        assert!(e.0.contains("fig9_astriflash_closed"), "{e}");
+        assert!(e.0.contains("--allow-lower"), "{e}");
+    }
+
+    #[test]
+    fn write_baseline_refuses_to_lower_ratio_floors() {
+        // 3.1 * 0.9 = 2.79 -> 2.7 < pinned 3.0.
+        let e = write_baseline(&bench("3.1", "250000"), &baseline(), false, "2026-01-02")
+            .expect_err("must refuse");
+        assert!(e.0.contains("event_queue_churn"), "{e}");
+    }
+
+    #[test]
+    fn allow_lower_accepts_the_regression() {
+        let new = write_baseline(&bench("4.5", "150000"), &baseline(), true, "2026-01-02")
+            .expect("allowed");
+        assert!(new.contains("\"fig9_astriflash_closed\": 112000"), "{new}");
+    }
+
+    #[test]
+    fn write_baseline_rejects_empty_reports_and_bad_values() {
+        let empty = r#"{"bench": "B", "microbenches": [], "figure_cells": []}"#;
+        assert!(write_baseline(empty, &baseline(), false, "d").is_err());
+        assert!(write_baseline(&bench(r#""NaN""#, "170000"), &baseline(), false, "d").is_err());
+        assert!(write_baseline("{not json", &baseline(), false, "d").is_err());
     }
 
     #[test]

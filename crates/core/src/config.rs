@@ -124,6 +124,12 @@ pub struct SystemConfig {
     /// decisions; the knob exists so `perf_report` can measure the
     /// accounting overhead against a true baseline.
     pub phase_attribution: bool,
+    /// Time-resolved telemetry (DESIGN.md §13): when set, the run
+    /// collects windowed latency/SLO, cache, MSR, and flash-health
+    /// series into a `TelemetryReport`. `None` (default) compiles the
+    /// collection hooks down to a single skipped `Option` check; either
+    /// way the simulated outcome is bit-identical.
+    pub telemetry: Option<crate::telemetry::TelemetryCfg>,
     /// Simulated-time cap per run; closed-loop runs end at the job quota
     /// or this cap, whichever comes first.
     pub max_sim_time_ms: u64,
@@ -221,6 +227,12 @@ impl SystemConfig {
         self
     }
 
+    /// Builder-style: attach windowed telemetry (DESIGN.md §13).
+    pub fn with_telemetry(mut self, telemetry: crate::telemetry::TelemetryCfg) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Builder-style: enable the footprint-cache extension.
     pub fn with_footprint_cache(mut self, enabled: bool) -> Self {
         self.footprint_cache = enabled;
@@ -259,6 +271,9 @@ impl SystemConfig {
         );
         assert!((0.0..1.0).contains(&self.warmup_fraction));
         assert!(self.max_sim_time_ms > 0);
+        if let Some(t) = &self.telemetry {
+            t.validate();
+        }
     }
 }
 
@@ -281,6 +296,7 @@ impl Default for SystemConfig {
             aging_multiplier: 2.0,
             tlb_geometry: (1536, 6),
             phase_attribution: true,
+            telemetry: None,
             max_sim_time_ms: 200,
             warmup_fraction: 0.1,
         }

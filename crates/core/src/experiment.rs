@@ -6,6 +6,7 @@ use astriflash_trace::Tracer;
 
 use crate::config::{Configuration, SystemConfig};
 use crate::system::{SystemSim, SystemStats};
+use crate::telemetry::TelemetryReport;
 
 /// How the system is loaded. Public so sweep cells ([`crate::sweep`])
 /// can carry a load point as plain data.
@@ -198,6 +199,12 @@ pub struct RunReport {
     /// byte-identical. Empty when `phase_attribution` was off or the run
     /// never missed in the DRAM cache.
     pub phases: PhaseSet,
+    /// Time-resolved telemetry (DESIGN.md §13); `Some` iff the run's
+    /// `SystemConfig::telemetry` was set. Like
+    /// [`RunReport::events_processed`], a plain field rather than a
+    /// [`MetricSet`] entry, so rendered reports and committed goldens
+    /// are byte-identical whether telemetry is attached or not.
+    pub telemetry: Option<TelemetryReport>,
     /// Extra metrics for reports.
     pub metrics: MetricSet,
 }
@@ -279,6 +286,7 @@ impl RunReport {
             response_hist: stats.response_ns,
             events_processed: stats.events_processed,
             phases: stats.phases,
+            telemetry: stats.telemetry,
             metrics,
         }
     }

@@ -39,9 +39,11 @@ pub mod experiments;
 pub mod queueing;
 pub mod sweep;
 pub mod system;
+pub mod telemetry;
 
 pub use config::{Configuration, SystemConfig};
 pub use experiment::{Experiment, Load, PreparedRun, RunReport};
 pub use queueing::QueueModel;
 pub use sweep::{Cell, Sweep};
 pub use system::SystemSim;
+pub use telemetry::{TelemetryCfg, TelemetryReport, ViolationInterval};

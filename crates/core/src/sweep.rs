@@ -136,23 +136,54 @@ pub fn threads_from_env() -> usize {
 
 /// Reads the traced-cell override from `ASTRIFLASH_TRACE_CELL`; falls
 /// back to cell 0 (the historical `run_with_cell0_trace` behaviour).
+/// Malformed values warn on stderr, like `ASTRIFLASH_THREADS`.
 pub fn traced_cell_from_env() -> usize {
-    parse_traced_cell(std::env::var("ASTRIFLASH_TRACE_CELL").ok().as_deref())
+    let (cell, warning) =
+        parse_traced_cell(std::env::var("ASTRIFLASH_TRACE_CELL").ok().as_deref());
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    cell
 }
 
-/// Pure parse of an `ASTRIFLASH_TRACE_CELL` value (`None` = unset), so
-/// the warning logic is testable without mutating process environment.
-fn parse_traced_cell(raw: Option<&str>) -> usize {
+/// Pure parse of an `ASTRIFLASH_TRACE_CELL` value (`None` = unset):
+/// returns the cell index plus the stderr warning a malformed value
+/// produces, so the warning text is testable without mutating process
+/// environment.
+fn parse_traced_cell(raw: Option<&str>) -> (usize, Option<String>) {
     if let Some(v) = raw {
         match v.trim().parse::<usize>() {
-            Ok(n) => return n,
-            _ => eprintln!(
-                "warning: ignoring ASTRIFLASH_TRACE_CELL={v:?} (expected an integer >= 0); \
-                 falling back to cell 0"
-            ),
+            Ok(n) => return (n, None),
+            _ => {
+                return (
+                    0,
+                    Some(format!(
+                        "warning: ignoring ASTRIFLASH_TRACE_CELL={v:?} (expected an integer \
+                         >= 0); falling back to cell 0"
+                    )),
+                )
+            }
         }
     }
-    0
+    (0, None)
+}
+
+/// Pure range check of a traced-cell index against the grid size:
+/// returns the effective index plus the stderr warning an out-of-range
+/// value produces (testable counterpart of the clamping inside
+/// [`Sweep::run_with_traced_cell`]).
+fn clamp_traced_cell(traced: usize, num_cells: usize) -> (usize, Option<String>) {
+    if traced < num_cells || num_cells == 0 {
+        (traced, None)
+    } else {
+        (
+            0,
+            Some(format!(
+                "warning: traced cell {traced} out of range (grid has {num_cells} cells); \
+                 tracing cell 0 instead"
+            )),
+        )
+    }
 }
 
 /// The parallel sweep runner. Cheap to construct; holds only the worker
@@ -204,16 +235,10 @@ impl Sweep {
         tracer: Tracer,
         traced: usize,
     ) -> Vec<RunReport> {
-        let traced = if traced < cells.len() || cells.is_empty() {
-            traced
-        } else {
-            eprintln!(
-                "warning: traced cell {traced} out of range (grid has {} cells); \
-                 tracing cell 0 instead",
-                cells.len()
-            );
-            0
-        };
+        let (traced, warning) = clamp_traced_cell(traced, cells.len());
+        if let Some(w) = warning {
+            eprintln!("{w}");
+        }
         self.map_described(
             cells,
             |i, cell| {
@@ -464,12 +489,40 @@ mod tests {
 
     #[test]
     fn traced_cell_parse_defaults_and_rejects_garbage() {
-        assert_eq!(parse_traced_cell(None), 0);
-        assert_eq!(parse_traced_cell(Some("3")), 3);
-        assert_eq!(parse_traced_cell(Some("  7 ")), 7);
-        assert_eq!(parse_traced_cell(Some("banana")), 0);
-        assert_eq!(parse_traced_cell(Some("-1")), 0);
-        assert_eq!(parse_traced_cell(Some("")), 0);
+        assert_eq!(parse_traced_cell(None), (0, None));
+        assert_eq!(parse_traced_cell(Some("3")), (3, None));
+        assert_eq!(parse_traced_cell(Some("  7 ")), (7, None));
+        assert_eq!(parse_traced_cell(Some("banana")).0, 0);
+        assert_eq!(parse_traced_cell(Some("-1")).0, 0);
+        assert_eq!(parse_traced_cell(Some("")).0, 0);
+    }
+
+    #[test]
+    fn traced_cell_malformed_values_warn_on_stderr() {
+        // Same convention as ASTRIFLASH_THREADS: a malformed value is
+        // ignored *loudly*, naming the variable, the offending value,
+        // and the fallback.
+        let (cell, warning) = parse_traced_cell(Some("banana"));
+        assert_eq!(cell, 0);
+        let warning = warning.expect("malformed value must warn");
+        assert!(warning.contains("ASTRIFLASH_TRACE_CELL"), "{warning}");
+        assert!(warning.contains("\"banana\""), "{warning}");
+        assert!(warning.contains("falling back to cell 0"), "{warning}");
+        // Valid and unset values stay silent.
+        assert_eq!(parse_traced_cell(Some("2")).1, None);
+        assert_eq!(parse_traced_cell(None).1, None);
+    }
+
+    #[test]
+    fn traced_cell_out_of_range_warns_and_clamps() {
+        let (cell, warning) = clamp_traced_cell(9, 2);
+        assert_eq!(cell, 0);
+        let warning = warning.expect("out-of-range index must warn");
+        assert!(warning.contains("traced cell 9 out of range"), "{warning}");
+        assert!(warning.contains("2 cells"), "{warning}");
+        // In-range indices and empty grids stay silent.
+        assert_eq!(clamp_traced_cell(1, 2), (1, None));
+        assert_eq!(clamp_traced_cell(5, 0), (5, None));
     }
 
     #[test]

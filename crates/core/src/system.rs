@@ -37,6 +37,7 @@ use astriflash_uthread::{Completion, MissPark, NotificationQueue, Pick, Policy, 
 use astriflash_workloads::{JobSpec, MemoryAccess, PoissonArrivals, WorkloadEngine, PAGE_SIZE};
 
 use crate::config::{Configuration, SystemConfig};
+use crate::telemetry::{CoreWindows, TelemetryReport};
 
 /// Execution-slice lookahead bound.
 const SLICE_NS: u64 = 4_000;
@@ -273,6 +274,11 @@ pub struct SystemStats {
     /// (DESIGN.md §11); empty when `SystemConfig::phase_attribution` is
     /// off or the run never missed.
     pub phases: PhaseSet,
+    /// Time-resolved telemetry (DESIGN.md §13); `Some` iff the run was
+    /// configured with `SystemConfig::telemetry`. Collection never
+    /// changes the simulated outcome, so every other field is
+    /// bit-identical with telemetry on or off.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl SystemStats {
@@ -351,6 +357,10 @@ pub struct SystemSim {
     phases: PhaseSet,
     /// Copy of `cfg.phase_attribution` (hot-path gate).
     phase_attr: bool,
+    /// Core-layer windowed telemetry (latency/completions/SLO); `Some`
+    /// iff `cfg.telemetry` is set. Component-layer windows live inside
+    /// the DRAM cache, BC, and flash device.
+    telem_windows: Option<Box<CoreWindows>>,
     /// Previous gauge-sample window state (hits, misses, per-core busy,
     /// sample time) for windowed rates.
     gauge_prev: GaugeWindow,
@@ -441,9 +451,19 @@ impl SystemSim {
         let dram_cache =
             DramCache::prewarmed(dram_cache_cfg, resident.into_iter().rev());
 
+        let mut dram_cache = dram_cache;
         let (msr_sets, msr_ways) = cfg.msr_geometry;
-        let bc = BacksideController::new(msr_sets, msr_ways, 2);
-        let flash = FlashDevice::new(cfg.flash_config(), seed ^ 0xF1);
+        let mut bc = BacksideController::new(msr_sets, msr_ways, 2);
+        let mut flash = FlashDevice::new(cfg.flash_config(), seed ^ 0xF1);
+        // Attach windowed telemetry to every layer up front (collection
+        // is pure bookkeeping; the simulated outcome is bit-identical
+        // either way).
+        let telem_windows = cfg.telemetry.map(|t| {
+            dram_cache.enable_windows(t.window_ns, t.max_windows);
+            bc.enable_windows(t.window_ns, t.max_windows);
+            flash.enable_windows(t.window_ns, t.max_windows);
+            Box::new(CoreWindows::new(&t))
+        });
         let pt_base = dataset_bytes;
         let walker = PageTableWalker::new(pt_base, cfg.page_table_region_bytes() / 4096);
         let hierarchy = CacheHierarchy::new(cfg.cores, cfg.hierarchy.clone());
@@ -486,6 +506,7 @@ impl SystemSim {
             waiter_scratch: Vec::new(),
             phases: PhaseSet::new(),
             phase_attr,
+            telem_windows,
             gauge_prev: GaugeWindow::default(),
         }
     }
@@ -588,6 +609,29 @@ impl SystemSim {
                 }
             }
         }
+        // Assemble the telemetry report from every layer's windows and
+        // mirror it onto the tracer as counter tracks.
+        let telemetry = self.telem_windows.take().map(|core_w| {
+            let report = TelemetryReport {
+                cfg: self.cfg.telemetry.expect("windows exist only with a telemetry cfg"),
+                end_ns: self.queue.now().as_ns(),
+                core: *core_w,
+                cache: self
+                    .dram_cache
+                    .take_windows()
+                    .expect("cache windows enabled with telemetry"),
+                msr: self
+                    .bc
+                    .take_windows()
+                    .expect("MSR windows enabled with telemetry"),
+                flash: self
+                    .flash
+                    .take_windows()
+                    .expect("flash windows enabled with telemetry"),
+            };
+            report.emit_gauges(&self.tracer);
+            report
+        });
         let mut stats = SystemStats {
             measured_jobs: self.measured_jobs,
             total_jobs: self.total_jobs,
@@ -616,6 +660,7 @@ impl SystemSim {
             tlb_hits: 0,
             tlb_misses: 0,
             phases: self.phases,
+            telemetry,
         };
         for c in &self.cores {
             stats.tlb_hits += c.tlb.hits();
@@ -1079,6 +1124,11 @@ impl SystemSim {
         self.cores[core_id].running = None;
         self.cores[core_id].stats.jobs_done += 1;
         self.total_jobs += 1;
+        if let Some(w) = self.telem_windows.as_deref_mut() {
+            // Warmup completions are included deliberately: the warm-up
+            // transient is what the time-resolved view exists to show.
+            w.record_completion(t.as_ns(), t.saturating_since(th.arrived_at).as_ns());
+        }
         if self.total_jobs == self.warmup_jobs {
             self.measuring_since = t;
         }

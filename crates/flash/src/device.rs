@@ -1,7 +1,7 @@
 //! The assembled SSD: planes + FTL + channel links + garbage collection.
 
 use astriflash_sim::{BandwidthLink, SimDuration, SimRng, SimTime};
-use astriflash_stats::Histogram;
+use astriflash_stats::{Histogram, WindowSeries};
 use astriflash_trace::{Track, Tracer};
 
 use crate::config::FlashConfig;
@@ -36,6 +36,120 @@ impl FlashStats {
     }
 }
 
+/// Per-window flash-health telemetry (DESIGN.md §13): the time-resolved
+/// view of the same quantities [`FlashStats`] aggregates end-of-run.
+///
+/// Attached via [`FlashDevice::enable_windows`]; recording is pure
+/// bookkeeping and never changes device timing, so a run with windows
+/// enabled is bit-identical to one without. All series are element-wise
+/// mergeable, so merged timelines are shard-order invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashWindows {
+    /// Page reads issued per window.
+    pub reads: WindowSeries,
+    /// Page programs issued per window.
+    pub writes: WindowSeries,
+    /// GC passes that erased at least one block, per window.
+    pub gc_invocations: WindowSeries,
+    /// Blocks erased by GC per window.
+    pub gc_erases: WindowSeries,
+    /// Valid pages migrated by GC per window.
+    pub gc_migrated_pages: WindowSeries,
+    /// Per-channel busy nanoseconds per window (transfer occupancy), one
+    /// series per channel — busy / window length is the utilization.
+    pub chan_busy_ns: Vec<WindowSeries>,
+}
+
+impl FlashWindows {
+    fn new(window_ns: u64, max_windows: usize, channels: usize) -> Self {
+        let mk = || WindowSeries::with_max_windows(window_ns, max_windows);
+        FlashWindows {
+            reads: mk(),
+            writes: mk(),
+            gc_invocations: mk(),
+            gc_erases: mk(),
+            gc_migrated_pages: mk(),
+            chan_busy_ns: (0..channels).map(|_| mk()).collect(),
+        }
+    }
+
+    /// Write amplification factor in window `w`:
+    /// `(host writes + GC migrations) / host writes`, or 0 when the
+    /// window saw no host writes.
+    pub fn waf(&self, w: usize) -> f64 {
+        let host = self.writes.get(w);
+        if host == 0 {
+            0.0
+        } else {
+            (host + self.gc_migrated_pages.get(w)) as f64 / host as f64
+        }
+    }
+
+    /// Channel `c`'s utilization in window `w` (busy fraction, ≤ 1 for
+    /// complete windows).
+    pub fn chan_util(&self, c: usize, w: usize) -> f64 {
+        match self.chan_busy_ns.get(c) {
+            Some(s) => s.get(w) as f64 / s.window_ns() as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Mean utilization across channels in window `w`.
+    pub fn mean_chan_util(&self, w: usize) -> f64 {
+        if self.chan_busy_ns.is_empty() {
+            return 0.0;
+        }
+        let n = self.chan_busy_ns.len();
+        (0..n).map(|c| self.chan_util(c, w)).sum::<f64>() / n as f64
+    }
+
+    /// Observations dropped past the window cap, across all series.
+    pub fn dropped(&self) -> u64 {
+        self.reads.dropped()
+            + self.writes.dropped()
+            + self.gc_invocations.dropped()
+            + self.gc_erases.dropped()
+            + self.gc_migrated_pages.dropped()
+            + self.chan_busy_ns.iter().map(WindowSeries::dropped).sum::<u64>()
+    }
+
+    /// Highest touched window index + 1 across all series.
+    pub fn num_windows(&self) -> usize {
+        self.reads
+            .num_windows()
+            .max(self.writes.num_windows())
+            .max(self.gc_erases.num_windows())
+            .max(
+                self.chan_busy_ns
+                    .iter()
+                    .map(WindowSeries::num_windows)
+                    .max()
+                    .unwrap_or(0),
+            )
+    }
+
+    /// Element-wise merge of another shard's windows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if window sizes or channel counts differ.
+    pub fn merge(&mut self, other: &FlashWindows) {
+        assert_eq!(
+            self.chan_busy_ns.len(),
+            other.chan_busy_ns.len(),
+            "cannot merge flash windows with different channel counts"
+        );
+        self.reads.merge(&other.reads);
+        self.writes.merge(&other.writes);
+        self.gc_invocations.merge(&other.gc_invocations);
+        self.gc_erases.merge(&other.gc_erases);
+        self.gc_migrated_pages.merge(&other.gc_migrated_pages);
+        for (a, b) in self.chan_busy_ns.iter_mut().zip(other.chan_busy_ns.iter()) {
+            a.merge(b);
+        }
+    }
+}
+
 /// Per-phase timing breakdown of one flash read, as returned by
 /// [`FlashDevice::read_bytes_timed`]. The phases partition the read's
 /// life up to `transfer_done`; the remaining `done - transfer_done` gap
@@ -66,6 +180,7 @@ pub struct FlashDevice {
     read_latency_hist: Histogram,
     rng: SimRng,
     tracer: Tracer,
+    windows: Option<Box<FlashWindows>>,
 }
 
 impl FlashDevice {
@@ -92,7 +207,28 @@ impl FlashDevice {
             read_latency_hist: Histogram::new(),
             rng: SimRng::new(seed ^ 0xF1A5_11DE),
             tracer: Tracer::off(),
+            windows: None,
         }
+    }
+
+    /// Attaches per-window flash-health telemetry (off by default; pure
+    /// bookkeeping, never affects timing or RNG draws).
+    pub fn enable_windows(&mut self, window_ns: u64, max_windows: usize) {
+        self.windows = Some(Box::new(FlashWindows::new(
+            window_ns,
+            max_windows,
+            self.cfg.channels,
+        )));
+    }
+
+    /// The window collector, if enabled.
+    pub fn windows(&self) -> Option<&FlashWindows> {
+        self.windows.as_deref()
+    }
+
+    /// Detaches and returns the window collector.
+    pub fn take_windows(&mut self) -> Option<FlashWindows> {
+        self.windows.take().map(|b| *b)
     }
 
     /// Installs the observability handle. Reads emit queue/array/transfer
@@ -149,7 +285,15 @@ impl FlashDevice {
         let queue_wait = array_start.saturating_since(now).as_ns();
         // Transfer over the channel once the array read finishes, then
         // pay the controller/host overhead.
+        let chan_free = self.channels[channel_idx].busy_until();
         let transfer_done = self.channels[channel_idx].transfer(array_done, bytes);
+        if let Some(w) = self.windows.as_deref_mut() {
+            w.reads.add(now.as_ns(), 1);
+            // The transfer occupies the channel from whichever is later of
+            // its prior commitment and the array completing.
+            let start = chan_free.max(array_done);
+            w.chan_busy_ns[channel_idx].add_span(start.as_ns(), transfer_done.as_ns());
+        }
         let done = transfer_done + SimDuration::from_ns(self.cfg.controller_overhead_ns);
         self.read_latency_hist
             .record(done.saturating_since(now).as_ns());
@@ -201,7 +345,13 @@ impl FlashDevice {
         self.maybe_gc(now, plane_idx);
 
         // Host-to-device transfer, then program.
+        let chan_free = self.channels[channel_idx].busy_until();
         let transfer_done = self.channels[channel_idx].transfer(now, FlashConfig::PAGE_BYTES);
+        if let Some(w) = self.windows.as_deref_mut() {
+            w.writes.add(now.as_ns(), 1);
+            let start = chan_free.max(now);
+            w.chan_busy_ns[channel_idx].add_span(start.as_ns(), transfer_done.as_ns());
+        }
         let t_prog = self.jitter(self.cfg.program_latency_ns);
         let done = self.planes[plane_idx].occupy_write(transfer_done, t_prog);
 
@@ -237,6 +387,7 @@ impl FlashDevice {
             .max(1);
         // Bound the loop: each iteration frees one block, so it cannot
         // exceed the plane's block count.
+        let mut erased_any = false;
         for _ in 0..self.planes[plane_idx].num_blocks() {
             if self.planes[plane_idx].free_block_count() >= min_free {
                 break;
@@ -261,6 +412,16 @@ impl FlashDevice {
             }
             self.stats.gc_erases += 1;
             self.stats.gc_migrated_pages += valid as u64;
+            erased_any = true;
+            if let Some(w) = self.windows.as_deref_mut() {
+                w.gc_erases.add(now.as_ns(), 1);
+                w.gc_migrated_pages.add(now.as_ns(), valid as u64);
+            }
+        }
+        if erased_any {
+            if let Some(w) = self.windows.as_deref_mut() {
+                w.gc_invocations.add(now.as_ns(), 1);
+            }
         }
     }
 

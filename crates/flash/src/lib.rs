@@ -33,6 +33,6 @@ pub mod plane;
 
 pub use config::FlashConfig;
 pub use endurance::{estimate_lifetime, LifetimeEstimate, NandEndurance};
-pub use device::{FlashDevice, FlashReadTiming, FlashStats};
+pub use device::{FlashDevice, FlashReadTiming, FlashStats, FlashWindows};
 pub use ftl::Ftl;
 pub use plane::Plane;

@@ -8,6 +8,7 @@
 //! (§V-A); we charge those as fixed nanosecond costs.
 
 use astriflash_sim::{SimDuration, SimTime};
+use astriflash_stats::WindowSeries;
 use astriflash_trace::{Track, Tracer};
 
 pub use crate::msr::Waiter;
@@ -63,6 +64,63 @@ pub struct BcStats {
     pub installs: u64,
 }
 
+/// Per-window MSR-occupancy telemetry (DESIGN.md §13). Occupancy is
+/// sampled after every admission and completion (the same points the
+/// tracer gauges), as a per-window sum + sample count (mean) and a
+/// per-window peak. Attached via
+/// [`BacksideController::enable_windows`]; recording never affects
+/// admission decisions or timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MsrWindows {
+    /// Sum of sampled occupancies per window.
+    pub occ_sum: WindowSeries,
+    /// Number of occupancy samples per window.
+    pub occ_samples: WindowSeries,
+    /// Peak sampled occupancy per window (merge with
+    /// [`WindowSeries::merge_max`], not addition).
+    pub occ_peak: WindowSeries,
+}
+
+impl MsrWindows {
+    fn new(window_ns: u64, max_windows: usize) -> Self {
+        let mk = || WindowSeries::with_max_windows(window_ns, max_windows);
+        MsrWindows {
+            occ_sum: mk(),
+            occ_samples: mk(),
+            occ_peak: mk(),
+        }
+    }
+
+    fn record(&mut self, t_ns: u64, occupancy: usize) {
+        self.occ_sum.add(t_ns, occupancy as u64);
+        self.occ_samples.add(t_ns, 1);
+        self.occ_peak.record_max(t_ns, occupancy as u64);
+    }
+
+    /// Mean sampled occupancy in window `w` (0 for unsampled windows).
+    pub fn mean_occupancy(&self, w: usize) -> f64 {
+        let n = self.occ_samples.get(w);
+        if n == 0 {
+            0.0
+        } else {
+            self.occ_sum.get(w) as f64 / n as f64
+        }
+    }
+
+    /// Observations dropped past the window cap, across all series.
+    pub fn dropped(&self) -> u64 {
+        self.occ_sum.dropped() + self.occ_samples.dropped() + self.occ_peak.dropped()
+    }
+
+    /// Merge of another shard's windows: sums add element-wise, peaks
+    /// take the element-wise maximum.
+    pub fn merge(&mut self, other: &MsrWindows) {
+        self.occ_sum.merge(&other.occ_sum);
+        self.occ_samples.merge(&other.occ_samples);
+        self.occ_peak.merge_max(&other.occ_peak);
+    }
+}
+
 /// The backside controller.
 #[derive(Debug)]
 pub struct BacksideController {
@@ -71,6 +129,7 @@ pub struct BacksideController {
     processing_ns: u64,
     stats: BcStats,
     tracer: Tracer,
+    windows: Option<Box<MsrWindows>>,
 }
 
 impl BacksideController {
@@ -82,7 +141,24 @@ impl BacksideController {
             processing_ns,
             stats: BcStats::default(),
             tracer: Tracer::off(),
+            windows: None,
         }
+    }
+
+    /// Attaches per-window MSR-occupancy telemetry (off by default; pure
+    /// bookkeeping, never affects admissions or timing).
+    pub fn enable_windows(&mut self, window_ns: u64, max_windows: usize) {
+        self.windows = Some(Box::new(MsrWindows::new(window_ns, max_windows)));
+    }
+
+    /// The window collector, if enabled.
+    pub fn windows(&self) -> Option<&MsrWindows> {
+        self.windows.as_deref()
+    }
+
+    /// Detaches and returns the window collector.
+    pub fn take_windows(&mut self) -> Option<MsrWindows> {
+        self.windows.take().map(|b| *b)
     }
 
     /// Installs the observability handle. Admissions and completions emit
@@ -130,6 +206,9 @@ impl BacksideController {
                 }
             }
         };
+        if let Some(w) = self.windows.as_deref_mut() {
+            w.record(processed.as_ns(), self.msr.occupancy());
+        }
         if self.tracer.enabled() {
             let name = match admission {
                 BcAdmission::Duplicate { .. } => "bc_duplicate",
@@ -202,6 +281,9 @@ impl BacksideController {
         }
         self.stats.installs += 1;
         self.msr.complete_into(page, out);
+        if let Some(w) = self.windows.as_deref_mut() {
+            w.record(installed_at.as_ns(), self.msr.occupancy());
+        }
         if self.tracer.enabled() {
             self.tracer
                 .span_instant(installed_at.as_ns(), Track::Bc, "bc_install", page);

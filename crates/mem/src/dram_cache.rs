@@ -7,6 +7,7 @@
 //! (§IV-B1). Misses are handed to the backside controller.
 
 use astriflash_sim::SimTime;
+use astriflash_stats::WindowSeries;
 use astriflash_workloads::PAGE_SIZE;
 
 use crate::dram::{DramBanks, DramTimings};
@@ -101,6 +102,49 @@ struct TagEntry {
     touched: u64,
 }
 
+/// Per-window DRAM-cache probe telemetry (DESIGN.md §13): hit/miss
+/// counts resolved over fixed sim-time windows, for time-resolved hit
+/// rates. Sub-misses (footprint mode) count as misses. Attached via
+/// [`DramCache::enable_windows`]; recording never affects timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheWindows {
+    /// Probe hits per window.
+    pub hits: WindowSeries,
+    /// Probe misses (including footprint sub-misses) per window.
+    pub misses: WindowSeries,
+}
+
+impl CacheWindows {
+    fn new(window_ns: u64, max_windows: usize) -> Self {
+        CacheWindows {
+            hits: WindowSeries::with_max_windows(window_ns, max_windows),
+            misses: WindowSeries::with_max_windows(window_ns, max_windows),
+        }
+    }
+
+    /// Hit rate in window `w` (0 for windows with no probes).
+    pub fn hit_rate(&self, w: usize) -> f64 {
+        let h = self.hits.get(w);
+        let total = h + self.misses.get(w);
+        if total == 0 {
+            0.0
+        } else {
+            h as f64 / total as f64
+        }
+    }
+
+    /// Observations dropped past the window cap, across both series.
+    pub fn dropped(&self) -> u64 {
+        self.hits.dropped() + self.misses.dropped()
+    }
+
+    /// Element-wise merge of another shard's windows.
+    pub fn merge(&mut self, other: &CacheWindows) {
+        self.hits.merge(&other.hits);
+        self.misses.merge(&other.misses);
+    }
+}
+
 /// The DRAM cache: tag state plus frontside-controller timing.
 #[derive(Debug)]
 pub struct DramCache {
@@ -114,6 +158,7 @@ pub struct DramCache {
     sub_misses: u64,
     installs: u64,
     dirty_evictions: u64,
+    windows: Option<Box<CacheWindows>>,
 }
 
 impl DramCache {
@@ -137,7 +182,24 @@ impl DramCache {
             sub_misses: 0,
             installs: 0,
             dirty_evictions: 0,
+            windows: None,
         }
+    }
+
+    /// Attaches per-window hit/miss telemetry (off by default; pure
+    /// bookkeeping, never affects timing or replacement decisions).
+    pub fn enable_windows(&mut self, window_ns: u64, max_windows: usize) {
+        self.windows = Some(Box::new(CacheWindows::new(window_ns, max_windows)));
+    }
+
+    /// The window collector, if enabled.
+    pub fn windows(&self) -> Option<&CacheWindows> {
+        self.windows.as_deref()
+    }
+
+    /// Detaches and returns the window collector.
+    pub fn take_windows(&mut self) -> Option<CacheWindows> {
+        self.windows.take().map(|b| *b)
     }
 
     /// Builds the cache pre-warmed with `pages` (most-recent last), as a
@@ -174,6 +236,9 @@ impl DramCache {
             let bit = 1u64 << (block & 63);
             if footprint && e.fetched & bit == 0 {
                 self.sub_misses += 1;
+                if let Some(w) = self.windows.as_deref_mut() {
+                    w.misses.add(now.as_ns(), 1);
+                }
                 return ProbeOutcome::SubMiss {
                     tag_check_done_at: tag_done,
                 };
@@ -181,11 +246,17 @@ impl DramCache {
             e.dirty |= is_write;
             e.touched |= bit;
             self.hits += 1;
+            if let Some(w) = self.windows.as_deref_mut() {
+                w.hits.add(now.as_ns(), 1);
+            }
             // Data block: one further CAS in the (now open) row.
             let done_at = self.banks.access_row(tag_done, row, 1);
             ProbeOutcome::Hit { done_at }
         } else {
             self.misses += 1;
+            if let Some(w) = self.windows.as_deref_mut() {
+                w.misses.add(now.as_ns(), 1);
+            }
             ProbeOutcome::Miss {
                 tag_check_done_at: tag_done,
             }

@@ -25,9 +25,9 @@ pub mod page_cache;
 pub mod sram_cache;
 pub mod sram_cache_ref;
 
-pub use backside::{BacksideController, BcAdmission, Waiter};
+pub use backside::{BacksideController, BcAdmission, MsrWindows, Waiter};
 pub use dram::{DramBanks, DramTimings};
-pub use dram_cache::{DramCache, DramCacheConfig, ProbeOutcome};
+pub use dram_cache::{CacheWindows, DramCache, DramCacheConfig, ProbeOutcome};
 pub use footprint::FootprintPredictor;
 pub use hierarchy::{CacheHierarchy, HierarchyConfig, HierarchyOutcome, LevelTotals};
 pub use msr::MissStatusRow;

@@ -29,6 +29,7 @@ pub mod phase;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
+pub mod window;
 
 pub use counter::{Counter, RateMeter};
 pub use csv::CsvDoc;
@@ -39,3 +40,4 @@ pub use phase::{Phase, PhaseHist, PhaseSet, PHASE_QUANTILES};
 pub use summary::MetricSet;
 pub use table::TextTable;
 pub use timeseries::{series_to_csv, TimeSeries};
+pub use window::{window_index, WindowSeries, WindowedHist, DEFAULT_MAX_WINDOWS};

@@ -37,6 +37,20 @@ echo "==> trace_analyze (offline reconstruction cross-validation)"
 # sheared trace with dropped events) exits non-zero.
 cargo run --release -q -p astriflash-analyze --bin trace_analyze
 
+echo "==> telemetry_report smoke (windowed tail-latency/SLO + flash-health timelines)"
+# Runs the three-system open-loop comparison at reduced scale with the
+# windowed-telemetry layer attached (DESIGN.md §13). The binary itself
+# exits non-zero if any window cap was exceeded (dropped observations
+# mean a truncated timeline) or the exported counter-track JSON fails
+# validation; here we re-check the artifacts landed and are non-empty.
+cargo run --release -q -p astriflash-bench --bin telemetry_report -- --quick
+test -s results/telemetry.csv
+test -s results/telemetry_p99_timeline.csv
+test -s results/telemetry_p99_timeline.txt
+test -s results/telemetry_flash_health.csv
+test -s results/telemetry_flash_health.txt
+test -s results/telemetry_trace.json
+
 echo "==> latency_breakdown smoke (per-phase miss anatomy)"
 cargo run --release -q -p astriflash-bench --bin latency_breakdown -- --quick
 test -s results/latency_breakdown.txt
