@@ -1,6 +1,6 @@
 //! Variance-controlled wall-clock performance report (DESIGN.md §12).
 //!
-//! Produces `results/BENCH_6.json` with three sections, every number
+//! Produces `results/BENCH_8.json` with three sections, every number
 //! measured under the adaptive protocol in
 //! [`astriflash_bench::harness`] (warmup-discard, repeat until the
 //! coefficient of variation settles or the rep cap is hit, report the
@@ -51,7 +51,7 @@ use astriflash_sim::{
     EventQueue, HeapEventQueue, PageMap, ScanEventQueue, SimDuration, SimRng, SimTime,
 };
 use astriflash_trace::json;
-use astriflash_workloads::ZipfGenerator;
+use astriflash_workloads::{JobBuf, WorkloadKind, WorkloadParams, ZipfGenerator};
 
 /// Steady-state churn depth for the event-queue pair.
 const QUEUE_DEPTH: u64 = 1 << 16;
@@ -351,6 +351,31 @@ fn run_microbenches(cfg: &VarianceConfig, smoke: bool) -> Vec<Pair> {
         optimized: cmb_flat_side,
     });
 
+    // Job generation: the legacy nested `JobSpec` builder (fresh op +
+    // access vectors per job) vs the flat `fill_job` path writing into a
+    // recycled arena buffer — the per-job cost `pick_next` pays on every
+    // scheduling decision. TATP is the composer's default workload, at
+    // the same scaled-down parameters `SystemConfig::default()` uses;
+    // both sides draw identical RNG streams (the differential suite
+    // proves the outputs decode identically).
+    let params = WorkloadParams::scaled_down();
+    let mut gen_legacy = WorkloadKind::Tatp.build(&params, 31);
+    let mut gen_flat = WorkloadKind::Tatp.build(&params, 31);
+    let mut rng_legacy = SimRng::new(77);
+    let mut rng_flat = SimRng::new(77);
+    let mut job_buf = JobBuf::new();
+    let legacy_side = side(cfg, target, "job_gen", || {
+        gen_legacy.next_job(&mut rng_legacy)
+    });
+    let flat_side = side(cfg, target, "job_gen_flat", || {
+        gen_flat.fill_job(&mut job_buf, &mut rng_flat)
+    });
+    pairs.push(Pair {
+        name: "job_gen",
+        baseline: legacy_side,
+        optimized: flat_side,
+    });
+
     pairs
 }
 
@@ -557,7 +582,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"BENCH_6\",");
+    let _ = writeln!(s, "  \"bench\": \"BENCH_8\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(
         s,
@@ -655,15 +680,15 @@ fn main() -> ExitCode {
 
     let out = render_json(mode, &cfg, &pairs, &cells, &overhead);
     if let Err(e) = json::validate(&out) {
-        eprintln!("error: BENCH_6.json failed validation: {e}");
+        eprintln!("error: BENCH_8.json failed validation: {e}");
         return ExitCode::FAILURE;
     }
     if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/BENCH_6.json", &out))
+        .and_then(|()| std::fs::write("results/BENCH_8.json", &out))
     {
-        eprintln!("error: writing results/BENCH_6.json: {e}");
+        eprintln!("error: writing results/BENCH_8.json: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote results/BENCH_6.json ({} bytes)", out.len());
+    println!("wrote results/BENCH_8.json ({} bytes)", out.len());
     ExitCode::SUCCESS
 }

@@ -34,7 +34,9 @@ use astriflash_sim::{EventQueue, PageMap, SimDuration, SimRng, SimTime};
 use astriflash_stats::{Histogram, OnlineStats, Phase, PhaseSet};
 use astriflash_trace::{Track, Tracer};
 use astriflash_uthread::{Completion, MissPark, NotificationQueue, Pick, Policy, Scheduler};
-use astriflash_workloads::{JobSpec, MemoryAccess, PoissonArrivals, WorkloadEngine, PAGE_SIZE};
+use astriflash_workloads::{
+    JobArena, JobBuf, MemoryAccess, PoissonArrivals, WorkloadEngine, PAGE_SIZE,
+};
 
 use crate::config::{Configuration, SystemConfig};
 use crate::telemetry::{CoreWindows, TelemetryReport};
@@ -47,14 +49,17 @@ const MSR_RETRY_NS: u64 = 2_000;
 /// read component state, so they never perturb the simulated outcome.
 const GAUGE_INTERVAL_NS: u64 = 10_000;
 
+/// Event payloads stay within one word past the discriminant: core ids
+/// are `u32` so the whole enum packs into 16 bytes (pinned by the size
+/// regression test; DESIGN.md §14).
 #[derive(Debug)]
 enum Event {
     /// Continue executing on a core.
-    Resume { core: usize },
+    Resume { core: u32 },
     /// A page arrived from flash; install + notify waiters.
     PageArrived { page: u64 },
     /// Open-loop job arrival for a core.
-    Arrival { core: usize },
+    Arrival { core: u32 },
     /// Periodic observability gauge sample (tracing runs only).
     Sample,
 }
@@ -65,24 +70,38 @@ enum ThreadState {
     /// Parked in the scheduler's pending queue (switch-on-miss / OS-Swap).
     Parked,
     /// Core is blocked waiting for this thread's page (Flash-Sync,
-    /// forward progress, queue-full, page-table walks).
-    BlockedOnPage(u64),
+    /// forward progress, queue-full, page-table walks). The page itself
+    /// lives in `Thread::blocked_page` so the state stays a bare tag.
+    BlockedOnPage,
 }
 
+/// Hot half of a thread slot: everything the per-access execute loop
+/// touches, packed into 48 bytes (pinned by the size regression test;
+/// DESIGN.md §14). The job body lives in the core's [`JobArena`];
+/// miss-only scratch lives in the parallel [`ThreadCold`] array.
 #[derive(Debug)]
 struct Thread {
-    job: JobSpec,
-    op_idx: usize,
-    access_idx: usize,
+    /// Arena slot holding this thread's flat job.
+    job_slot: u32,
+    op_idx: u32,
+    access_idx: u32,
     arrived_at: SimTime,
     started_at: SimTime,
+    /// When the thread was parked (for park-delay accounting).
+    parked_at: SimTime,
+    /// Page the core is blocked on; valid iff `state` is `BlockedOnPage`.
+    blocked_page: u64,
     state: ThreadState,
     /// Whether the current operation's compute has been charged.
     compute_done: bool,
-    /// When the thread was parked (for park-delay accounting).
-    parked_at: SimTime,
     /// Forward-progress bit: the next miss must complete synchronously.
     forced: bool,
+}
+
+/// Cold half of a thread slot: touched only on miss lifecycles, never by
+/// the per-access execute loop (DESIGN.md §14).
+#[derive(Debug, Default)]
+struct ThreadCold {
     /// Open trace span for the in-flight miss (0 = none).
     miss_span: u64,
     /// Per-phase scratch for the in-flight miss (latency attribution,
@@ -190,6 +209,11 @@ struct Core {
     arch: ArchState,
     timing: OooTiming,
     threads: Vec<Option<Thread>>,
+    /// Cold halves of the thread slots, parallel to `threads`.
+    cold: Vec<ThreadCold>,
+    /// Flat job arena: one recycled buffer per concurrent job, so the
+    /// steady state allocates nothing per job (DESIGN.md §14).
+    arena: JobArena,
     running: Option<usize>,
     /// Arrival timestamps of queued (not yet started) jobs.
     job_queue: VecDeque<SimTime>,
@@ -412,6 +436,8 @@ impl SystemSim {
                 arch,
                 timing: OooTiming::default(),
                 threads: (0..threads_per_core).map(|_| None).collect(),
+                cold: (0..threads_per_core).map(|_| ThreadCold::default()).collect(),
+                arena: JobArena::with_capacity(threads_per_core),
                 running: None,
                 job_queue: VecDeque::with_capacity(2 * threads_per_core),
                 pending_penalty_ns: 0,
@@ -431,9 +457,10 @@ impl SystemSim {
         let mut recency: Vec<u64> = Vec::new();
         let target_touches = capacity * 8;
         let mut touches = 0usize;
+        let mut warm_buf = JobBuf::new();
         while touches < target_touches {
-            let job = engine.next_job(&mut warm_rng);
-            for a in job.accesses() {
+            engine.fill_job(&mut warm_buf, &mut warm_rng);
+            for a in warm_buf.accesses() {
                 let page = a.addr / PAGE_SIZE;
                 if !lru.access(page) {
                     recency.push(page);
@@ -562,7 +589,7 @@ impl SystemSim {
         let mut arrivals = PoissonArrivals::new(mean_interarrival_ns);
         let first = arrivals.next_arrival(&mut self.rng);
         self.arrivals = Some(arrivals);
-        let core = self.next_arrival_core;
+        let core = self.next_arrival_core as u32;
         self.queue.schedule(first, Event::Arrival { core });
         self.start_sampling();
         self.event_loop();
@@ -588,9 +615,11 @@ impl SystemSim {
         if self.tracer.enabled() {
             let t = self.queue.now().as_ns();
             for (ci, core) in self.cores.iter_mut().enumerate() {
-                for th in core.threads.iter_mut().flatten() {
-                    let span = std::mem::take(&mut th.miss_span);
-                    self.tracer.end_span(t, Track::Core(ci as u32), "miss", span);
+                for slot in 0..core.threads.len() {
+                    if core.threads[slot].is_some() {
+                        let span = std::mem::take(&mut core.cold[slot].miss_span);
+                        self.tracer.end_span(t, Track::Core(ci as u32), "miss", span);
+                    }
                 }
             }
         }
@@ -601,10 +630,12 @@ impl SystemSim {
         if self.phase_attr {
             let end = self.queue.now().as_ns();
             for core in &mut self.cores {
-                for th in core.threads.iter_mut().flatten() {
-                    let attr = std::mem::take(&mut th.attr);
-                    if attr.active && attr.arrived {
-                        attr.flush(end, &mut self.phases);
+                for slot in 0..core.threads.len() {
+                    if core.threads[slot].is_some() {
+                        let attr = std::mem::take(&mut core.cold[slot].attr);
+                        if attr.active && attr.arrived {
+                            attr.flush(end, &mut self.phases);
+                        }
                     }
                 }
             }
@@ -692,11 +723,12 @@ impl SystemSim {
             }
             match event {
                 Event::Resume { core } => {
+                    let core = core as usize;
                     self.cores[core].resume_pending = false;
                     self.run_core(core);
                 }
                 Event::PageArrived { page } => self.on_page_arrived(page),
-                Event::Arrival { core } => self.on_arrival(core),
+                Event::Arrival { core } => self.on_arrival(core as usize),
                 Event::Sample => self.on_sample(),
             }
         }
@@ -705,7 +737,8 @@ impl SystemSim {
     fn schedule_resume(&mut self, core: usize, at: SimTime) {
         if !self.cores[core].resume_pending {
             self.cores[core].resume_pending = true;
-            self.queue.schedule(at.max(self.queue.now()), Event::Resume { core });
+            self.queue
+                .schedule(at.max(self.queue.now()), Event::Resume { core: core as u32 });
         }
     }
 
@@ -720,7 +753,7 @@ impl SystemSim {
             let t = arrivals.next_arrival(&mut self.rng);
             let target = self.rng.gen_range(self.cores.len() as u64) as usize;
             self.next_arrival_core = target;
-            self.queue.schedule(t, Event::Arrival { core: target });
+            self.queue.schedule(t, Event::Arrival { core: target as u32 });
         }
         if self.cores[core].running.is_none() {
             self.schedule_resume(core, now);
@@ -838,11 +871,15 @@ impl SystemSim {
             let core = w.core as usize;
             let thread = w.thread as usize;
             let installed = installed_at;
-            let Some(t) = self.cores[core].threads[thread].as_mut() else {
+            let Some((state, blocked_page, since)) = self.cores[core].threads[thread]
+                .as_ref()
+                .map(|t| (t.state, t.blocked_page, t.parked_at))
+            else {
                 continue;
             };
-            if self.tracer.enabled() && t.miss_span != 0 {
-                self.tracer.resume_span(t.miss_span);
+            let blocked_here = state == ThreadState::BlockedOnPage && blocked_page == page;
+            if self.tracer.enabled() && self.cores[core].cold[thread].miss_span != 0 {
+                self.tracer.resume_span(self.cores[core].cold[thread].miss_span);
                 self.tracer.span_instant(
                     installed.as_ns(),
                     Track::Core(w.core),
@@ -855,54 +892,52 @@ impl SystemSim {
             // re-missed the same page) and close out lifecycles that
             // resume synchronously below.
             let mut done_attr: Option<MissAttr> = None;
-            if self.phase_attr && t.attr.active {
-                if !t.attr.arrived {
-                    t.attr.arrived = true;
-                    t.attr.arrived_ns = installed.as_ns();
-                    match t.attr.kind {
+            let attr = &mut self.cores[core].cold[thread].attr;
+            if self.phase_attr && attr.active {
+                if !attr.arrived {
+                    attr.arrived = true;
+                    attr.arrived_ns = installed.as_ns();
+                    match attr.kind {
                         MissKind::Issued => {
-                            t.attr.install_ns =
-                                installed.as_ns().saturating_sub(t.attr.xfer_done_ns);
+                            attr.install_ns =
+                                installed.as_ns().saturating_sub(attr.xfer_done_ns);
                         }
                         MissKind::Coalesced => {
-                            t.attr.coalesced_ns =
-                                installed.as_ns().saturating_sub(t.attr.admit_end_ns);
+                            attr.coalesced_ns =
+                                installed.as_ns().saturating_sub(attr.admit_end_ns);
                         }
                         MissKind::Unresolved => {}
                     }
                 }
                 // Blocked threads resume at install time: zero resume
                 // delay, lifecycle complete.
-                if matches!(t.state, ThreadState::BlockedOnPage(p) if p == page) {
-                    done_attr = Some(std::mem::take(&mut t.attr));
+                if blocked_here {
+                    done_attr = Some(std::mem::take(attr));
                 }
             }
-            match t.state {
-                ThreadState::Parked => {
-                    // Post the completion on the core's queue pair; the
-                    // scheduler reads it at its next decision point. A
-                    // doorbell wakes idle cores. Overflowed entries are
-                    // recovered by the aging guard.
-                    self.cores[core].notifications.push(Completion {
-                        thread: w.thread,
-                        page,
-                    });
-                    if self.cores[core].running.is_none() {
-                        self.schedule_resume(core, installed);
-                    }
-                }
-                ThreadState::BlockedOnPage(p) if p == page => {
-                    let since = t.parked_at;
-                    t.state = ThreadState::Running;
-                    let span = std::mem::take(&mut t.miss_span);
-                    self.tracer
-                        .end_span(installed.as_ns(), Track::Core(w.core), "miss", span);
-                    debug_assert_eq!(self.cores[core].running, Some(thread));
-                    self.cores[core].stats.blocked_ns +=
-                        installed.saturating_since(since).as_ns();
+            if blocked_here {
+                let c = &mut self.cores[core];
+                c.threads[thread].as_mut().expect("checked above").state =
+                    ThreadState::Running;
+                let span = std::mem::take(&mut c.cold[thread].miss_span);
+                self.tracer
+                    .end_span(installed.as_ns(), Track::Core(w.core), "miss", span);
+                debug_assert_eq!(self.cores[core].running, Some(thread));
+                self.cores[core].stats.blocked_ns +=
+                    installed.saturating_since(since).as_ns();
+                self.schedule_resume(core, installed);
+            } else if state == ThreadState::Parked {
+                // Post the completion on the core's queue pair; the
+                // scheduler reads it at its next decision point. A
+                // doorbell wakes idle cores. Overflowed entries are
+                // recovered by the aging guard.
+                self.cores[core].notifications.push(Completion {
+                    thread: w.thread,
+                    page,
+                });
+                if self.cores[core].running.is_none() {
                     self.schedule_resume(core, installed);
                 }
-                _ => {}
             }
             if let Some(attr) = done_attr {
                 attr.flush(installed.as_ns(), &mut self.phases);
@@ -943,19 +978,21 @@ impl SystemSim {
                 } else {
                     core.job_queue.pop_front().expect("queue non-empty")
                 };
-                let job = self.engine.next_job(&mut self.rng);
+                // Fill a recycled arena slot in place — no per-job
+                // allocation at steady state (DESIGN.md §14).
+                let job_slot = core.arena.alloc();
+                self.engine.fill_job(core.arena.buf_mut(job_slot), &mut self.rng);
                 core.threads[slot] = Some(Thread {
-                    job,
+                    job_slot,
                     op_idx: 0,
                     access_idx: 0,
                     arrived_at,
                     started_at: now,
+                    parked_at: SimTime::ZERO,
+                    blocked_page: 0,
                     state: ThreadState::Running,
                     compute_done: false,
-                    parked_at: SimTime::ZERO,
                     forced: false,
-                    miss_span: 0,
-                    attr: MissAttr::default(),
                 });
                 core.running = Some(slot);
                 true
@@ -966,7 +1003,12 @@ impl SystemSim {
                     .as_mut()
                     .expect("pending thread exists");
                 t.state = ThreadState::Running;
-                let span = std::mem::take(&mut t.miss_span);
+                let parked_at = t.parked_at;
+                // Forward progress: a rescheduled pending thread must
+                // retire its access even if the page was evicted again
+                // (§IV-C3). The bit also covers not-ready aged threads.
+                t.forced = true;
+                let span = std::mem::take(&mut core.cold[slot].miss_span);
                 if span != 0 {
                     self.tracer.resume_span(span);
                     self.tracer.span_instant(
@@ -983,18 +1025,14 @@ impl SystemSim {
                 // since arrival is its resume delay); an aged promotion
                 // without arrival is discarded, like its span — the
                 // analyzer skips spans with no `page_arrived` too.
-                if self.phase_attr && t.attr.active {
-                    let attr = std::mem::take(&mut t.attr);
+                if self.phase_attr && core.cold[slot].attr.active {
+                    let attr = std::mem::take(&mut core.cold[slot].attr);
                     if attr.arrived {
                         attr.flush(now.as_ns(), &mut self.phases);
                     }
                 }
-                let park_delay = now.saturating_since(t.parked_at).as_ns();
+                let park_delay = now.saturating_since(parked_at).as_ns();
                 self.park_ns.record(park_delay);
-                // Forward progress: a rescheduled pending thread must
-                // retire its access even if the page was evicted again
-                // (§IV-C3). The bit also covers not-ready aged threads.
-                t.forced = true;
                 core.arch.force_forward_progress();
                 let _ = ready;
                 core.running = Some(slot);
@@ -1039,7 +1077,8 @@ impl SystemSim {
                 let core = &mut self.cores[core_id];
                 if core.running.is_some() {
                     core.resume_pending = true;
-                    self.queue.schedule(t, Event::Resume { core: core_id });
+                    self.queue
+                        .schedule(t, Event::Resume { core: core_id as u32 });
                 }
                 return;
             }
@@ -1057,15 +1096,16 @@ impl SystemSim {
             let step = {
                 let core = &mut self.cores[core_id];
                 let th = core.threads[slot].as_mut().expect("running thread");
-                if th.op_idx >= th.job.ops.len() {
+                let buf = core.arena.buf(th.job_slot);
+                if th.op_idx >= buf.op_count() {
                     Step::JobDone
                 } else {
-                    let op = &th.job.ops[th.op_idx];
+                    let op = buf.op(th.op_idx);
                     if !th.compute_done {
                         th.compute_done = true;
                         Step::Compute(op.compute_ns)
-                    } else if th.access_idx < op.accesses.len() {
-                        Step::Access(op.accesses[th.access_idx])
+                    } else if th.access_idx < op.access_len {
+                        Step::Access(buf.access(op.access_start + th.access_idx))
                     } else {
                         th.op_idx += 1;
                         th.access_idx = 0;
@@ -1121,6 +1161,10 @@ impl SystemSim {
         let th = self.cores[core_id].threads[slot]
             .take()
             .expect("completing thread");
+        // Recycle the job's arena slot and reset the cold scratch; the
+        // slot's buffers keep their capacity for the next job.
+        self.cores[core_id].arena.release(th.job_slot);
+        self.cores[core_id].cold[slot] = ThreadCold::default();
         self.cores[core_id].running = None;
         self.cores[core_id].stats.jobs_done += 1;
         self.total_jobs += 1;
@@ -1255,23 +1299,20 @@ impl SystemSim {
             ProbeOutcome::Hit { done_at } => {
                 let lat = done_at.saturating_since(t).as_ns();
                 let t = t + SimDuration::from_ns(timing.effective_stall_ns(lat));
-                if self.tracer.enabled() {
+                if self.tracer.enabled() && self.cores[core_id].threads[slot].is_some() {
                     // An MSR-stalled retry can hit if another thread's
                     // fetch installed the page meanwhile: close its span.
-                    if let Some(th) = self.cores[core_id].threads[slot].as_mut() {
-                        let span = std::mem::take(&mut th.miss_span);
-                        self.tracer
-                            .end_span(t.as_ns(), Track::Core(core_id as u32), "miss", span);
-                    }
+                    let span = std::mem::take(&mut self.cores[core_id].cold[slot].miss_span);
+                    self.tracer
+                        .end_span(t.as_ns(), Track::Core(core_id as u32), "miss", span);
                 }
-                if self.phase_attr {
+                if self.phase_attr && self.cores[core_id].threads[slot].is_some() {
                     // The retried miss resolved as a hit: its lifecycle
                     // never saw a page arrival, so discard the scratch
                     // (the analyzer skips such spans as well).
-                    if let Some(th) = self.cores[core_id].threads[slot].as_mut() {
-                        if th.attr.active {
-                            th.attr = MissAttr::default();
-                        }
+                    let attr = &mut self.cores[core_id].cold[slot].attr;
+                    if attr.active {
+                        *attr = MissAttr::default();
                     }
                 }
                 self.clear_forced(core_id, slot);
@@ -1304,31 +1345,27 @@ impl SystemSim {
         // Open (or re-enter after an MSR-stall retry) this miss's trace
         // span; BC and flash emissions below attribute to it.
         let miss_span = if self.tracer.enabled() {
-            let th = self.cores[core_id].threads[slot]
-                .as_mut()
-                .expect("running thread");
-            if th.miss_span == 0 {
-                th.miss_span = self.tracer.begin_span(
+            debug_assert!(self.cores[core_id].threads[slot].is_some());
+            if self.cores[core_id].cold[slot].miss_span == 0 {
+                self.cores[core_id].cold[slot].miss_span = self.tracer.begin_span(
                     t.as_ns(),
                     Track::Core(core_id as u32),
                     "miss",
                     page,
                 );
             } else {
-                self.tracer.resume_span(th.miss_span);
+                self.tracer.resume_span(self.cores[core_id].cold[slot].miss_span);
             }
-            th.miss_span
+            self.cores[core_id].cold[slot].miss_span
         } else {
             0
         };
         if self.phase_attr {
             // Open (or keep, across an MSR-stall retry) this miss's
             // attribution scratch; the BC admission below resolves it.
-            let th = self.cores[core_id].threads[slot]
-                .as_mut()
-                .expect("running thread");
-            if !th.attr.active {
-                th.attr = MissAttr::begin(t.as_ns());
+            let attr = &mut self.cores[core_id].cold[slot].attr;
+            if !attr.active {
+                *attr = MissAttr::begin(t.as_ns());
             }
         }
 
@@ -1341,13 +1378,10 @@ impl SystemSim {
             BcAdmission::Duplicate { resolved_at } => {
                 // Read already in flight; the miss coalesces onto it.
                 if self.phase_attr {
-                    let th = self.cores[core_id].threads[slot]
-                        .as_mut()
-                        .expect("running thread");
-                    th.attr.kind = MissKind::Coalesced;
-                    th.attr.admit_ns =
-                        resolved_at.as_ns().saturating_sub(th.attr.started_ns);
-                    th.attr.admit_end_ns = resolved_at.as_ns();
+                    let attr = &mut self.cores[core_id].cold[slot].attr;
+                    attr.kind = MissKind::Coalesced;
+                    attr.admit_ns = resolved_at.as_ns().saturating_sub(attr.started_ns);
+                    attr.admit_end_ns = resolved_at.as_ns();
                 }
             }
             BcAdmission::IssueFlashRead { issue_at } => {
@@ -1356,17 +1390,14 @@ impl SystemSim {
                 let timing = self.flash.read_bytes_timed(issue_at, page, bytes);
                 let done = timing.done;
                 if self.phase_attr {
-                    let th = self.cores[core_id].threads[slot]
-                        .as_mut()
-                        .expect("running thread");
-                    th.attr.kind = MissKind::Issued;
-                    th.attr.admit_ns =
-                        issue_at.as_ns().saturating_sub(th.attr.started_ns);
-                    th.attr.admit_end_ns = issue_at.as_ns();
-                    th.attr.queue_ns = timing.queue_ns;
-                    th.attr.read_ns = timing.read_ns;
-                    th.attr.xfer_ns = timing.xfer_ns;
-                    th.attr.xfer_done_ns = timing.transfer_done.as_ns();
+                    let attr = &mut self.cores[core_id].cold[slot].attr;
+                    attr.kind = MissKind::Issued;
+                    attr.admit_ns = issue_at.as_ns().saturating_sub(attr.started_ns);
+                    attr.admit_end_ns = issue_at.as_ns();
+                    attr.queue_ns = timing.queue_ns;
+                    attr.read_ns = timing.read_ns;
+                    attr.xfer_ns = timing.xfer_ns;
+                    attr.xfer_done_ns = timing.transfer_done.as_ns();
                 }
                 self.inflight_footprints.insert(page, bitmap);
                 if miss_span != 0 {
@@ -1387,7 +1418,8 @@ impl SystemSim {
                 let retry = t + SimDuration::from_ns(MSR_RETRY_NS);
                 let core = &mut self.cores[core_id];
                 core.resume_pending = true;
-                self.queue.schedule(retry, Event::Resume { core: core_id });
+                self.queue
+                    .schedule(retry, Event::Resume { core: core_id as u32 });
                 return AccessResult::Suspended;
             }
         }
@@ -1505,7 +1537,8 @@ impl SystemSim {
             .span_instant(t.as_ns(), Track::Core(core_id as u32), "block", page);
         let core = &mut self.cores[core_id];
         let th = core.threads[slot].as_mut().expect("running");
-        th.state = ThreadState::BlockedOnPage(page);
+        th.state = ThreadState::BlockedOnPage;
+        th.blocked_page = page;
         th.parked_at = t;
         // running stays = Some(slot); PageArrived resumes it.
         AccessResult::Suspended
@@ -1570,8 +1603,10 @@ impl SystemSim {
                                         let retry = tag_check_done_at
                                             + SimDuration::from_ns(MSR_RETRY_NS);
                                         self.cores[core_id].resume_pending = true;
-                                        self.queue
-                                            .schedule(retry, Event::Resume { core: core_id });
+                                        self.queue.schedule(
+                                            retry,
+                                            Event::Resume { core: core_id as u32 },
+                                        );
                                         return WalkResult::Suspended;
                                     }
                                 }
@@ -1680,6 +1715,26 @@ mod tests {
         );
         let again = quick(Configuration::AstriFlash);
         assert_eq!(stats.events_processed, again.events_processed);
+    }
+
+    #[test]
+    fn hot_structs_stay_packed() {
+        // Static size regression gates (DESIGN.md §14): the event loop
+        // copies `Event`s through the queue and scans `Option<Thread>`
+        // slots per pick, so growth here is a silent perf regression.
+        // If a change legitimately needs more space, update DESIGN.md
+        // §14 and these pins together.
+        use std::mem::size_of;
+        assert_eq!(size_of::<Event>(), 16, "Event grew — see DESIGN.md §14");
+        assert_eq!(
+            size_of::<Thread>(),
+            48,
+            "Thread hot section grew — see DESIGN.md §14"
+        );
+        assert!(
+            size_of::<Option<Thread>>() <= 56,
+            "Option<Thread> slot grew — see DESIGN.md §14"
+        );
     }
 
     #[test]

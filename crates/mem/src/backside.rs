@@ -130,6 +130,12 @@ pub struct BacksideController {
     stats: BcStats,
     tracer: Tracer,
     windows: Option<Box<MsrWindows>>,
+    /// Recycled [`BcCompletion`] waiter vectors: callers that are done
+    /// with a completion hand it back via
+    /// [`BacksideController::recycle_completion`] so steady-state
+    /// completions never allocate (mirrors the composer's reused waiter
+    /// scratch and the MSR's internal entry pool).
+    completion_pool: Vec<Vec<Waiter>>,
 }
 
 impl BacksideController {
@@ -142,6 +148,7 @@ impl BacksideController {
             stats: BcStats::default(),
             tracer: Tracer::off(),
             windows: None,
+            completion_pool: Vec::new(),
         }
     }
 
@@ -248,7 +255,7 @@ impl BacksideController {
         bitmap: u64,
         cache: &mut DramCache,
     ) -> (BcCompletion, Option<u64>) {
-        let mut waiters = Vec::new();
+        let mut waiters = self.completion_pool.pop().unwrap_or_default();
         let (installed_at, dirty_victim) =
             self.complete_with_footprint_into(now, page, bitmap, cache, &mut waiters);
         (
@@ -258,6 +265,18 @@ impl BacksideController {
             },
             dirty_victim,
         )
+    }
+
+    /// Returns a drained completion's waiter vector to the pool so the
+    /// next [`complete`] / [`complete_with_footprint`] reuses its
+    /// allocation instead of growing a fresh one.
+    ///
+    /// [`complete`]: BacksideController::complete
+    /// [`complete_with_footprint`]: BacksideController::complete_with_footprint
+    pub fn recycle_completion(&mut self, completion: BcCompletion) {
+        let mut waiters = completion.waiters;
+        waiters.clear();
+        self.completion_pool.push(waiters);
     }
 
     /// Allocation-free variant of [`complete_with_footprint`]: appends
@@ -407,6 +426,28 @@ mod tests {
         assert!(names.contains(&"bc_duplicate"));
         assert!(names.contains(&"bc_install"));
         assert!(names.contains(&"msr_occupancy"));
+    }
+
+    #[test]
+    fn recycled_completions_keep_their_capacity() {
+        let (mut bc, mut cache) = setup();
+        // Grow a waiter vector past the inline sizes, recycle it, and
+        // check the next completion starts from that allocation.
+        for i in 0..16 {
+            bc.admit(SimTime::ZERO, 42, Waiter { core: i, thread: i }, &mut cache);
+        }
+        let (completion, _) = bc.complete(SimTime::from_us(50), 42, &mut cache);
+        assert_eq!(completion.waiters.len(), 16);
+        let grown = completion.waiters.capacity();
+        bc.recycle_completion(completion);
+        bc.admit(SimTime::from_us(60), 43, W, &mut cache);
+        let (next, _) = bc.complete(SimTime::from_us(110), 43, &mut cache);
+        assert_eq!(next.waiters, vec![W], "no stale waiters leak through the pool");
+        assert!(
+            next.waiters.capacity() >= grown,
+            "pooled vector lost its capacity: {} < {grown}",
+            next.waiters.capacity()
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use astriflash_sim::SimRng;
 
 use crate::address_space::{AddressSpace, PAGE_SIZE};
 use crate::engines::touch_record;
-use crate::job::{JobSpec, MemoryAccess, Operation, WorkloadEngine};
+use crate::job::{JobBuf, JobSpec, MemoryAccess, Operation, WorkloadEngine};
 use crate::kind::WorkloadParams;
 use crate::popularity::KeyChooser;
 
@@ -78,6 +78,35 @@ impl WorkloadEngine for ArraySwap {
             ops.push(Operation::new(self.compute_ns, accesses));
         }
         JobSpec::new(ops)
+    }
+
+    fn fill_job(&mut self, buf: &mut JobBuf, rng: &mut SimRng) {
+        buf.clear();
+        for _ in 0..self.swaps_per_job {
+            let i = self.chooser.next(rng);
+            let mut j = self.chooser.next(rng);
+            if j == i {
+                j = (i + 1) % self.chooser.n();
+            }
+            let start = buf.mark();
+            // Read both elements...
+            touch_record(
+                buf.accesses_mut(),
+                self.element_addr(i),
+                self.blocks_per_touch,
+                false,
+            );
+            touch_record(
+                buf.accesses_mut(),
+                self.element_addr(j),
+                self.blocks_per_touch,
+                false,
+            );
+            // ...then write them back swapped.
+            buf.push(MemoryAccess::write(self.element_addr(i)));
+            buf.push(MemoryAccess::write(self.element_addr(j)));
+            buf.finish_op(self.compute_ns, start);
+        }
     }
 
     fn name(&self) -> &'static str {

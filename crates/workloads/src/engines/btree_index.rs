@@ -354,6 +354,20 @@ impl BPlusTree {
     /// addresses.
     pub fn scan_trace(&self, start: u64, count: usize, out: &mut Vec<MemoryAccess>) -> Vec<u64> {
         let mut records = Vec::with_capacity(count);
+        self.scan_trace_into(start, count, out, &mut records);
+        records
+    }
+
+    /// Allocation-free twin of [`BPlusTree::scan_trace`]: appends up to
+    /// `count` record addresses to a caller-owned (recycled) buffer.
+    pub fn scan_trace_into(
+        &self,
+        start: u64,
+        count: usize,
+        out: &mut Vec<MemoryAccess>,
+        records: &mut Vec<u64>,
+    ) {
+        let base = records.len();
         let mut cur = self.root;
         loop {
             let node = &self.nodes[cur as usize];
@@ -365,13 +379,13 @@ impl BPlusTree {
             cur = node.children[slot];
         }
         let mut pos = self.nodes[cur as usize].keys.partition_point(|&k| k < start);
-        while records.len() < count && cur != NIL {
+        while records.len() - base < count && cur != NIL {
             let node = &self.nodes[cur as usize];
-            while pos < node.keys.len() && records.len() < count {
+            while pos < node.keys.len() && records.len() - base < count {
                 records.push(node.records[pos]);
                 pos += 1;
             }
-            if records.len() < count {
+            if records.len() - base < count {
                 cur = node.next_leaf;
                 pos = 0;
                 if cur != NIL {
@@ -379,7 +393,6 @@ impl BPlusTree {
                 }
             }
         }
-        records
     }
 
     /// Validates B+-tree structural invariants; returns the key count

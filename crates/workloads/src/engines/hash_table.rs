@@ -12,7 +12,7 @@ use astriflash_sim::SimRng;
 
 use crate::address_space::{AddressSpace, SimAlloc, BLOCK_SIZE, PAGE_SIZE};
 use crate::engines::touch_record;
-use crate::job::{JobSpec, Operation, WorkloadEngine};
+use crate::job::{JobBuf, JobSpec, MemoryAccess, Operation, WorkloadEngine};
 use crate::kind::WorkloadParams;
 use crate::popularity::KeyChooser;
 
@@ -117,24 +117,28 @@ impl HashTable {
         }
     }
 
-    /// Emits the access trace of one lookup and returns the operation.
-    fn lookup_op(&self, key: u64, write: bool) -> Operation {
+    /// Emits the access trace of one lookup into `out` (shared by the
+    /// legacy nested path and the flat `fill_job` path).
+    fn lookup_trace(&self, key: u64, write: bool, out: &mut Vec<MemoryAccess>) {
         let info = self.key_info[key as usize];
-        let mut accesses = Vec::with_capacity(8);
         // Bucket-head slot (64 B block containing the 8 B pointer).
         let slot_addr = self.bucket_array_base + info.bucket as u64 * 8;
-        accesses.push(crate::job::MemoryAccess::read(slot_addr / BLOCK_SIZE * BLOCK_SIZE));
+        out.push(MemoryAccess::read(slot_addr / BLOCK_SIZE * BLOCK_SIZE));
         // Chain walk up to and including this key's node.
         for &k in &self.chains[info.bucket as usize] {
-            accesses.push(crate::job::MemoryAccess::read(
-                self.key_info[k as usize].node_addr,
-            ));
+            out.push(MemoryAccess::read(self.key_info[k as usize].node_addr));
             if k as u64 == key {
                 break;
             }
         }
         // Record payload: two blocks read, head block written on updates.
-        touch_record(&mut accesses, info.record_addr, 2, write);
+        touch_record(out, info.record_addr, 2, write);
+    }
+
+    /// Emits the access trace of one lookup and returns the operation.
+    fn lookup_op(&self, key: u64, write: bool) -> Operation {
+        let mut accesses = Vec::with_capacity(8);
+        self.lookup_trace(key, write, &mut accesses);
         Operation::new(self.compute_ns, accesses)
     }
 
@@ -153,6 +157,17 @@ impl WorkloadEngine for HashTable {
             ops.push(self.lookup_op(key, write));
         }
         JobSpec::new(ops)
+    }
+
+    fn fill_job(&mut self, buf: &mut JobBuf, rng: &mut SimRng) {
+        buf.clear();
+        for _ in 0..self.lookups_per_job {
+            let key = self.chooser.next(rng);
+            let write = rng.gen_bool(self.write_fraction);
+            let start = buf.mark();
+            self.lookup_trace(key, write, buf.accesses_mut());
+            buf.finish_op(self.compute_ns, start);
+        }
     }
 
     fn name(&self) -> &'static str {

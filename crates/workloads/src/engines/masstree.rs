@@ -6,7 +6,7 @@ use astriflash_sim::SimRng;
 use crate::address_space::{AddressSpace, SimAlloc, PAGE_SIZE};
 use crate::engines::btree_index::BPlusTree;
 use crate::engines::touch_record;
-use crate::job::{JobSpec, MemoryAccess, Operation, WorkloadEngine};
+use crate::job::{JobBuf, JobSpec, MemoryAccess, Operation, WorkloadEngine};
 use crate::kind::WorkloadParams;
 use crate::popularity::KeyChooser;
 
@@ -21,6 +21,8 @@ pub struct Masstree {
     ops_per_job: usize,
     /// Node allocator retained for churn-driven splits.
     node_alloc: SimAlloc,
+    /// Recycled record buffer for the flat scan path.
+    scan_records: Vec<u64>,
     n: u64,
 }
 
@@ -51,6 +53,7 @@ impl Masstree {
             compute_ns: params.compute_ns_per_op,
             ops_per_job: 6,
             node_alloc,
+            scan_records: Vec::new(),
             n,
         }
     }
@@ -101,6 +104,48 @@ impl WorkloadEngine for Masstree {
             ops.push(Operation::new(self.compute_ns, accesses));
         }
         JobSpec::new(ops)
+    }
+
+    fn fill_job(&mut self, buf: &mut JobBuf, rng: &mut SimRng) {
+        buf.clear();
+        for _ in 0..self.ops_per_job {
+            let key = self.chooser.next(rng) % self.n;
+            let start = buf.mark();
+            let roll = rng.gen_f64();
+            if roll < 0.10 {
+                // Short range scan: 4–12 records.
+                let count = 4 + rng.gen_range(9) as usize;
+                self.scan_records.clear();
+                self.tree
+                    .scan_trace_into(key, count, buf.accesses_mut(), &mut self.scan_records);
+                for i in 0..self.scan_records.len() {
+                    touch_record(buf.accesses_mut(), self.scan_records[i], 1, false);
+                }
+            } else if roll > 0.97 {
+                let record = self
+                    .tree
+                    .lookup_trace(key, buf.accesses_mut())
+                    .expect("all keys inserted");
+                self.tree.remove(key);
+                let node_alloc = &mut self.node_alloc;
+                self.tree
+                    .insert(key, record, &mut |_| node_alloc.alloc(NODE_BYTES));
+                // Touched leaf: last access of *this op's* descent —
+                // bounded by `start` in the shared slab.
+                if let Some(leaf) = buf.accesses()[start as usize..].last().map(|a| a.addr) {
+                    buf.push(MemoryAccess::write(leaf));
+                }
+                buf.push(MemoryAccess::write(record));
+            } else {
+                let write = roll > 0.95;
+                let record = self
+                    .tree
+                    .lookup_trace(key, buf.accesses_mut())
+                    .expect("all keys inserted");
+                touch_record(buf.accesses_mut(), record, 2, write);
+            }
+            buf.finish_op(self.compute_ns, start);
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -12,7 +12,7 @@ use astriflash_sim::SimRng;
 
 use crate::address_space::{AddressSpace, SimAlloc, PAGE_SIZE};
 use crate::engines::touch_record;
-use crate::job::{JobSpec, MemoryAccess, Operation, WorkloadEngine};
+use crate::job::{JobBuf, JobSpec, MemoryAccess, Operation, WorkloadEngine};
 use crate::kind::WorkloadParams;
 use crate::popularity::KeyChooser;
 
@@ -559,6 +559,47 @@ impl WorkloadEngine for RbTree {
             ops.push(Operation::new(self.compute_ns, accesses));
         }
         JobSpec::new(ops)
+    }
+
+    fn fill_job(&mut self, buf: &mut JobBuf, rng: &mut SimRng) {
+        buf.clear();
+        for _ in 0..self.lookups_per_job {
+            let key = self.chooser.next(rng) % self.n;
+            let start = buf.mark();
+            if rng.gen_bool(self.churn_fraction) {
+                let record = self
+                    .arena
+                    .lookup_trace(key, buf.accesses_mut())
+                    .expect("all keys resident");
+                self.arena.delete(key);
+                self.arena.insert(
+                    key,
+                    self.node_base + key * NODE_BYTES,
+                    self.record_base + key * self.record_bytes,
+                );
+                // Rewritten path tail: the last (up to) three nodes of
+                // *this op's* descent — bounded by `start` so the shared
+                // slab never bleeds into an earlier op's accesses.
+                let descent = &buf.accesses()[start as usize..];
+                let m = descent.len().min(3);
+                let mut rewritten = [0u64; 3];
+                for (dst, a) in rewritten.iter_mut().zip(descent.iter().rev()) {
+                    *dst = a.addr;
+                }
+                for &addr in &rewritten[..m] {
+                    buf.push(MemoryAccess::write(addr));
+                }
+                buf.push(MemoryAccess::write(record));
+            } else {
+                let write = rng.gen_bool(self.write_fraction);
+                let record = self
+                    .arena
+                    .lookup_trace(key, buf.accesses_mut())
+                    .expect("all keys were inserted");
+                touch_record(buf.accesses_mut(), record, 2, write);
+            }
+            buf.finish_op(self.compute_ns, start);
+        }
     }
 
     fn name(&self) -> &'static str {

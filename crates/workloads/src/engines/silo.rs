@@ -10,7 +10,7 @@ use astriflash_sim::SimRng;
 use crate::address_space::{AddressSpace, SimAlloc, PAGE_SIZE};
 use crate::engines::btree_index::BPlusTree;
 use crate::engines::touch_record;
-use crate::job::{JobSpec, MemoryAccess, Operation, WorkloadEngine};
+use crate::job::{JobBuf, JobSpec, MemoryAccess, Operation, WorkloadEngine};
 use crate::kind::WorkloadParams;
 use crate::popularity::KeyChooser;
 
@@ -99,6 +99,43 @@ impl WorkloadEngine for Silo {
             commit,
         ));
         JobSpec::new(ops)
+    }
+
+    fn fill_job(&mut self, buf: &mut JobBuf, rng: &mut SimRng) {
+        buf.clear();
+        let read_set = 2 + rng.gen_range(5) as usize; // 2..=6 reads
+        let write_set = rng.gen_range(3) as usize; // 0..=2 writes
+        let mut written_records = [0u64; 2];
+
+        for _ in 0..read_set {
+            let key = self.chooser.next(rng) % self.n;
+            let start = buf.mark();
+            let record = self
+                .tree
+                .lookup_trace(key, buf.accesses_mut())
+                .expect("all keys inserted");
+            touch_record(buf.accesses_mut(), record, 2, false);
+            buf.finish_op(self.compute_ns, start);
+        }
+        for written in written_records.iter_mut().take(write_set) {
+            let key = self.chooser.next(rng) % self.n;
+            let start = buf.mark();
+            let record = self
+                .tree
+                .lookup_trace(key, buf.accesses_mut())
+                .expect("all keys inserted");
+            // Buffered write: read the record now, install at commit.
+            touch_record(buf.accesses_mut(), record, 2, false);
+            *written = record;
+            buf.finish_op(self.compute_ns, start);
+        }
+
+        // Commit: validate the read set (compute), then install writes.
+        let start = buf.mark();
+        for &record in &written_records[..write_set] {
+            buf.push(MemoryAccess::write(record));
+        }
+        buf.finish_op(self.compute_ns * (1 + read_set as u64 / 2), start);
     }
 
     fn name(&self) -> &'static str {

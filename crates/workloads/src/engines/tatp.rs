@@ -11,7 +11,7 @@ use astriflash_sim::SimRng;
 
 use crate::address_space::{AddressSpace, SimAlloc, PAGE_SIZE};
 use crate::engines::touch_record;
-use crate::job::{JobSpec, MemoryAccess, Operation, WorkloadEngine};
+use crate::job::{JobBuf, JobSpec, MemoryAccess, Operation, WorkloadEngine};
 use crate::kind::WorkloadParams;
 use crate::popularity::KeyChooser;
 
@@ -141,57 +141,53 @@ impl Tatp {
         self.call_forwarding_base + ((s_id * SF_PER_SUB + sf) * CF_PER_SF + cf) * self.row_bytes
     }
 
-    /// Builds the access trace of one transaction.
-    pub fn txn_ops(&self, txn: TatpTxn, s_id: u64, rng: &mut SimRng) -> Vec<Operation> {
-        let mut ops = Vec::with_capacity(3);
-        let mut accesses = Vec::with_capacity(12);
+    /// Emits one transaction's access trace into `out` (shared by the
+    /// legacy nested path and the flat `fill_job` path).
+    fn txn_trace(&self, txn: TatpTxn, s_id: u64, rng: &mut SimRng, out: &mut Vec<MemoryAccess>) {
         match txn {
             TatpTxn::GetSubscriberData => {
                 // Full-row read of the wide subscriber record.
-                touch_record(&mut accesses, self.subscriber_addr(s_id), 4, false);
+                touch_record(out, self.subscriber_addr(s_id), 4, false);
             }
             TatpTxn::GetNewDestination => {
                 let sf = rng.gen_range(SF_PER_SUB);
-                touch_record(&mut accesses, self.special_facility_addr(s_id, sf), 1, false);
+                touch_record(out, self.special_facility_addr(s_id, sf), 1, false);
                 for cf in 0..CF_PER_SF {
-                    touch_record(
-                        &mut accesses,
-                        self.call_forwarding_addr(s_id, sf, cf),
-                        1,
-                        false,
-                    );
+                    touch_record(out, self.call_forwarding_addr(s_id, sf, cf), 1, false);
                 }
             }
             TatpTxn::GetAccessData => {
                 let ai = rng.gen_range(AI_PER_SUB);
-                touch_record(&mut accesses, self.access_info_addr(s_id, ai), 1, false);
+                touch_record(out, self.access_info_addr(s_id, ai), 1, false);
             }
             TatpTxn::UpdateSubscriberData => {
-                accesses.push(MemoryAccess::write(self.subscriber_addr(s_id)));
+                out.push(MemoryAccess::write(self.subscriber_addr(s_id)));
                 let sf = rng.gen_range(SF_PER_SUB);
-                accesses.push(MemoryAccess::write(self.special_facility_addr(s_id, sf)));
+                out.push(MemoryAccess::write(self.special_facility_addr(s_id, sf)));
             }
             TatpTxn::UpdateLocation => {
                 // Read-modify-write of the subscriber row.
-                touch_record(&mut accesses, self.subscriber_addr(s_id), 2, true);
+                touch_record(out, self.subscriber_addr(s_id), 2, true);
             }
             TatpTxn::InsertCallForwarding => {
                 let sf = rng.gen_range(SF_PER_SUB);
-                touch_record(&mut accesses, self.special_facility_addr(s_id, sf), 1, false);
+                touch_record(out, self.special_facility_addr(s_id, sf), 1, false);
                 let cf = rng.gen_range(CF_PER_SF);
-                accesses.push(MemoryAccess::write(self.call_forwarding_addr(s_id, sf, cf)));
+                out.push(MemoryAccess::write(self.call_forwarding_addr(s_id, sf, cf)));
             }
             TatpTxn::DeleteCallForwarding => {
                 let sf = rng.gen_range(SF_PER_SUB);
                 let cf = rng.gen_range(CF_PER_SF);
-                touch_record(
-                    &mut accesses,
-                    self.call_forwarding_addr(s_id, sf, cf),
-                    1,
-                    true,
-                );
+                touch_record(out, self.call_forwarding_addr(s_id, sf, cf), 1, true);
             }
         }
+    }
+
+    /// Builds the access trace of one transaction.
+    pub fn txn_ops(&self, txn: TatpTxn, s_id: u64, rng: &mut SimRng) -> Vec<Operation> {
+        let mut ops = Vec::with_capacity(3);
+        let mut accesses = Vec::with_capacity(12);
+        self.txn_trace(txn, s_id, rng, &mut accesses);
         // TATP transactions are short: parse/plan compute, the accesses,
         // then commit compute.
         ops.push(Operation::new(self.compute_ns * 2, accesses));
@@ -205,6 +201,16 @@ impl WorkloadEngine for Tatp {
         let s_id = self.chooser.next(rng);
         let txn = TatpTxn::sample(rng);
         JobSpec::new(self.txn_ops(txn, s_id, rng))
+    }
+
+    fn fill_job(&mut self, buf: &mut JobBuf, rng: &mut SimRng) {
+        buf.clear();
+        let s_id = self.chooser.next(rng);
+        let txn = TatpTxn::sample(rng);
+        let start = buf.mark();
+        self.txn_trace(txn, s_id, rng, buf.accesses_mut());
+        buf.finish_op(self.compute_ns * 2, start);
+        buf.push_compute(self.compute_ns);
     }
 
     fn name(&self) -> &'static str {

@@ -7,7 +7,7 @@ use astriflash_sim::SimRng;
 
 use crate::address_space::{AddressSpace, SimAlloc, PAGE_SIZE};
 use crate::engines::touch_record;
-use crate::job::{JobSpec, MemoryAccess, Operation, WorkloadEngine};
+use crate::job::{JobBuf, JobSpec, MemoryAccess, Operation, WorkloadEngine};
 use crate::kind::WorkloadParams;
 use crate::popularity::KeyChooser;
 
@@ -263,6 +263,87 @@ impl Tpcc {
         }
         vec![Operation::new(self.compute_ns * 3, accesses)]
     }
+
+    // Flat twins of the transaction builders. Each must draw from `rng`
+    // and advance the order-line log in the identical sequence as its
+    // nested counterpart above; the differential suite in
+    // crates/workloads/tests/flat_job_differential.rs enforces this.
+
+    fn new_order_flat(&mut self, rng: &mut SimRng, buf: &mut JobBuf) {
+        let (w, d, c) = self.pick_customer(rng);
+
+        let start = buf.mark();
+        buf.push(MemoryAccess::read(self.warehouse_addr(w)));
+        touch_record(buf.accesses_mut(), self.district_addr(w, d), 1, true); // next_o_id++
+        touch_record(buf.accesses_mut(), self.customer_addr(c), 2, false);
+        buf.finish_op(self.compute_ns * 3, start);
+
+        let ol_cnt = 5 + rng.gen_range(11); // 5..=15 items
+        for _ in 0..ol_cnt {
+            let i = self.item_chooser.next(rng);
+            let start = buf.mark();
+            buf.push(MemoryAccess::read(self.item_addr(i)));
+            touch_record(buf.accesses_mut(), self.stock_addr(w, i), 1, true); // qty--
+            let line = self.append_order_line();
+            buf.push(MemoryAccess::write(line));
+            buf.finish_op(self.compute_ns * 2, start);
+        }
+        buf.push_compute(self.compute_ns * 2); // commit
+    }
+
+    fn payment_flat(&mut self, rng: &mut SimRng, buf: &mut JobBuf) {
+        let (w, d, c) = self.pick_customer(rng);
+        let start = buf.mark();
+        touch_record(buf.accesses_mut(), self.warehouse_addr(w), 1, true); // ytd
+        touch_record(buf.accesses_mut(), self.district_addr(w, d), 1, true);
+        touch_record(buf.accesses_mut(), self.customer_addr(c), 2, true); // balance
+        let history = self.append_order_line();
+        buf.push(MemoryAccess::write(history));
+        buf.finish_op(self.compute_ns * 3, start);
+        buf.push_compute(self.compute_ns * 2);
+    }
+
+    fn order_status_flat(&mut self, rng: &mut SimRng, buf: &mut JobBuf) {
+        let (_, _, c) = self.pick_customer(rng);
+        let start = buf.mark();
+        touch_record(buf.accesses_mut(), self.customer_addr(c), 2, false);
+        let recent = rng.gen_range(self.num_order_lines.min(1024)).min(self.next_order_line);
+        let first = self.next_order_line - recent;
+        for i in 0..8 {
+            let slot = (first + i) % self.num_order_lines;
+            buf.push(MemoryAccess::read(
+                self.order_line_base + slot * ORDER_LINE_BYTES,
+            ));
+        }
+        buf.finish_op(self.compute_ns * 2, start);
+    }
+
+    fn delivery_flat(&mut self, rng: &mut SimRng, buf: &mut JobBuf) {
+        let w = rng.gen_range(self.num_warehouses);
+        for d in 0..DISTRICTS_PER_WH {
+            let start = buf.mark();
+            touch_record(buf.accesses_mut(), self.district_addr(w, d), 1, false);
+            let line = self.append_order_line();
+            buf.push(MemoryAccess::write(line));
+            let c = w * DISTRICTS_PER_WH * self.customers_per_district
+                + d * self.customers_per_district
+                + rng.gen_range(self.customers_per_district);
+            touch_record(buf.accesses_mut(), self.customer_addr(c), 1, true);
+            buf.finish_op(self.compute_ns * 2, start);
+        }
+    }
+
+    fn stock_level_flat(&mut self, rng: &mut SimRng, buf: &mut JobBuf) {
+        let w = rng.gen_range(self.num_warehouses);
+        let d = rng.gen_range(DISTRICTS_PER_WH);
+        let start = buf.mark();
+        touch_record(buf.accesses_mut(), self.district_addr(w, d), 1, false);
+        for _ in 0..20 {
+            let i = self.item_chooser.next(rng);
+            buf.push(MemoryAccess::read(self.stock_addr(w, i)));
+        }
+        buf.finish_op(self.compute_ns * 3, start);
+    }
 }
 
 impl WorkloadEngine for Tpcc {
@@ -278,6 +359,21 @@ impl WorkloadEngine for Tpcc {
             TpccTxn::StockLevel => self.stock_level(rng),
         };
         JobSpec::new(ops)
+    }
+
+    fn fill_job(&mut self, buf: &mut JobBuf, rng: &mut SimRng) {
+        buf.clear();
+        if !self.full_mix {
+            self.new_order_flat(rng, buf);
+            return;
+        }
+        match TpccTxn::sample(rng) {
+            TpccTxn::NewOrder => self.new_order_flat(rng, buf),
+            TpccTxn::Payment => self.payment_flat(rng, buf),
+            TpccTxn::OrderStatus => self.order_status_flat(rng, buf),
+            TpccTxn::Delivery => self.delivery_flat(rng, buf),
+            TpccTxn::StockLevel => self.stock_level_flat(rng, buf),
+        }
     }
 
     fn name(&self) -> &'static str {

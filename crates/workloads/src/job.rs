@@ -117,6 +117,239 @@ impl JobSpec {
     }
 }
 
+/// One operation in flat encoding: compute time plus a span into the
+/// job's contiguous access slab (DESIGN.md §14).
+///
+/// 16 bytes; a job's ops sit contiguously in [`JobBuf::ops`], so the
+/// run loop's op fetch is one indexed load instead of a `Vec<Operation>`
+/// pointer chase into per-op `Vec<MemoryAccess>` heads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlatOp {
+    /// Pure compute preceding the accesses, in nanoseconds.
+    pub compute_ns: u64,
+    /// First access of this op in the slab.
+    pub access_start: u32,
+    /// Number of accesses in this op.
+    pub access_len: u32,
+}
+
+/// A flat, recycled job encoding: one contiguous [`MemoryAccess`] slab
+/// plus [`FlatOp`] spans over it.
+///
+/// Engines write into a `JobBuf` through [`WorkloadEngine::fill_job`];
+/// the buffer is cleared and refilled, so after warm-up no per-job
+/// allocation happens (both `Vec`s keep their high-water capacity).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobBuf {
+    ops: Vec<FlatOp>,
+    accesses: Vec<MemoryAccess>,
+}
+
+impl JobBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        JobBuf::default()
+    }
+
+    /// Clears contents, keeping capacity. Every `fill_job` starts here.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.accesses.clear();
+    }
+
+    /// Current slab length — the `access_start` of an op about to be
+    /// built. Pair with [`JobBuf::finish_op`].
+    pub fn mark(&self) -> u32 {
+        self.accesses.len() as u32
+    }
+
+    /// Appends one access to the slab (part of the op under
+    /// construction).
+    pub fn push(&mut self, a: MemoryAccess) {
+        self.accesses.push(a);
+    }
+
+    /// Mutable slab access, for data-structure trace helpers that
+    /// append into a `&mut Vec<MemoryAccess>` (`lookup_trace`,
+    /// `touch_record`, …).
+    pub fn accesses_mut(&mut self) -> &mut Vec<MemoryAccess> {
+        &mut self.accesses
+    }
+
+    /// Closes the op whose accesses started at `start` (from
+    /// [`JobBuf::mark`]).
+    pub fn finish_op(&mut self, compute_ns: u64, start: u32) {
+        let len = self.accesses.len() as u32 - start;
+        self.ops.push(FlatOp {
+            compute_ns,
+            access_start: start,
+            access_len: len,
+        });
+    }
+
+    /// Appends a compute-only op.
+    pub fn push_compute(&mut self, compute_ns: u64) {
+        let start = self.mark();
+        self.ops.push(FlatOp {
+            compute_ns,
+            access_start: start,
+            access_len: 0,
+        });
+    }
+
+    /// Number of ops.
+    pub fn op_count(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    /// The `idx`-th op (copied; 16 bytes).
+    #[inline]
+    pub fn op(&self, idx: u32) -> FlatOp {
+        self.ops[idx as usize]
+    }
+
+    /// The `idx`-th slab access (copied; 24 bytes).
+    #[inline]
+    pub fn access(&self, idx: u32) -> MemoryAccess {
+        self.accesses[idx as usize]
+    }
+
+    /// All ops in program order.
+    pub fn ops(&self) -> &[FlatOp] {
+        &self.ops
+    }
+
+    /// The whole access slab in program order.
+    pub fn accesses(&self) -> &[MemoryAccess] {
+        &self.accesses
+    }
+
+    /// True when the buffer holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total compute time across ops.
+    pub fn total_compute_ns(&self) -> u64 {
+        self.ops.iter().map(|o| o.compute_ns).sum()
+    }
+
+    /// Total number of memory accesses.
+    pub fn total_accesses(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Number of write accesses.
+    pub fn total_writes(&self) -> usize {
+        self.accesses.iter().filter(|a| a.is_write).count()
+    }
+
+    /// Flattens a nested `JobSpec` into this buffer (overwrites it).
+    /// Used by the default [`WorkloadEngine::fill_job`] and by tests.
+    pub fn load_spec(&mut self, spec: &JobSpec) {
+        self.clear();
+        for op in &spec.ops {
+            let start = self.mark();
+            self.accesses.extend_from_slice(&op.accesses);
+            self.finish_op(op.compute_ns, start);
+        }
+    }
+
+    /// Expands back to the nested representation. Test-path only — the
+    /// differential suites compare `decode()` against the retained
+    /// legacy `next_job` output.
+    pub fn decode(&self) -> JobSpec {
+        JobSpec {
+            ops: self
+                .ops
+                .iter()
+                .map(|o| Operation {
+                    compute_ns: o.compute_ns,
+                    accesses: self.accesses
+                        [o.access_start as usize..(o.access_start + o.access_len) as usize]
+                        .to_vec(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A per-core pool of [`JobBuf`] slots with a free-list.
+///
+/// `alloc` pops a recycled slot (or grows the pool on first use);
+/// `release` pushes it back. Slot contents are *not* cleared on release
+/// — `fill_job` overwrites on the next fill — so capacity is retained
+/// and steady-state job turnover allocates nothing.
+#[derive(Debug, Default)]
+pub struct JobArena {
+    slots: Vec<JobBuf>,
+    free: Vec<u32>,
+}
+
+impl JobArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        JobArena::default()
+    }
+
+    /// An arena with `n` pre-created free slots (e.g. threads per core).
+    pub fn with_capacity(n: usize) -> Self {
+        JobArena {
+            slots: (0..n).map(|_| JobBuf::new()).collect(),
+            free: (0..n as u32).rev().collect(),
+        }
+    }
+
+    /// Claims a slot, growing the pool if none is free.
+    pub fn alloc(&mut self) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            slot
+        } else {
+            self.slots.push(JobBuf::new());
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Returns a slot to the free list. The buffer keeps its capacity.
+    pub fn release(&mut self, slot: u32) {
+        debug_assert!((slot as usize) < self.slots.len(), "release of unknown slot");
+        debug_assert!(!self.free.contains(&slot), "double release of slot {slot}");
+        self.free.push(slot);
+    }
+
+    /// Shared view of a slot's buffer.
+    #[inline]
+    pub fn buf(&self, slot: u32) -> &JobBuf {
+        &self.slots[slot as usize]
+    }
+
+    /// Mutable view of a slot's buffer.
+    #[inline]
+    pub fn buf_mut(&mut self, slot: u32) -> &mut JobBuf {
+        &mut self.slots[slot as usize]
+    }
+
+    /// Total slots ever created.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the arena has created no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Currently free (recyclable) slots.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Currently live (allocated) slots.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
 /// A source of jobs: one per workload.
 ///
 /// Engines are deterministic given the construction seed and the `SimRng`
@@ -124,6 +357,22 @@ impl JobSpec {
 pub trait WorkloadEngine: Send {
     /// Generates the next job.
     fn next_job(&mut self, rng: &mut SimRng) -> JobSpec;
+
+    /// Generates the next job directly into a recycled flat buffer
+    /// (overwriting it) — the allocation-free twin of
+    /// [`WorkloadEngine::next_job`].
+    ///
+    /// Contract: for engines in the same state, `fill_job` must draw
+    /// from `rng` in the identical sequence as `next_job` and produce a
+    /// buffer that [`JobBuf::decode`]s to the identical `JobSpec`; the
+    /// differential suites in `crates/workloads/tests` enforce this per
+    /// engine. The default implementation flattens `next_job` (correct
+    /// but allocating); hot engines override it to write the slab
+    /// directly.
+    fn fill_job(&mut self, buf: &mut JobBuf, rng: &mut SimRng) {
+        let spec = self.next_job(rng);
+        buf.load_spec(&spec);
+    }
 
     /// Short workload name (used in reports).
     fn name(&self) -> &'static str;
@@ -157,6 +406,99 @@ mod tests {
     fn access_constructors() {
         assert!(!MemoryAccess::read(5).is_write);
         assert!(MemoryAccess::write(5).is_write);
+    }
+
+    #[test]
+    fn job_buf_round_trips_a_spec() {
+        let spec = JobSpec::new(vec![
+            Operation::new(100, vec![MemoryAccess::read(0), MemoryAccess::write(64)]),
+            Operation::compute(50),
+            Operation::new(25, vec![MemoryAccess::write(128)]),
+        ]);
+        let mut buf = JobBuf::new();
+        buf.load_spec(&spec);
+        assert_eq!(buf.op_count(), 3);
+        assert_eq!(buf.total_compute_ns(), spec.total_compute_ns());
+        assert_eq!(buf.total_accesses(), spec.total_accesses());
+        assert_eq!(buf.total_writes(), spec.total_writes());
+        assert_eq!(buf.decode(), spec);
+        // Refill overwrites: the previous contents must not leak through.
+        let other = JobSpec::new(vec![Operation::new(7, vec![MemoryAccess::read(4096)])]);
+        buf.load_spec(&other);
+        assert_eq!(buf.decode(), other);
+    }
+
+    #[test]
+    fn job_buf_incremental_builders() {
+        let mut buf = JobBuf::new();
+        let start = buf.mark();
+        buf.push(MemoryAccess::read(0));
+        buf.push(MemoryAccess::write(64));
+        buf.finish_op(100, start);
+        buf.push_compute(50);
+        let start = buf.mark();
+        buf.accesses_mut().push(MemoryAccess::write(128));
+        buf.finish_op(25, start);
+        assert_eq!(buf.op(0), FlatOp { compute_ns: 100, access_start: 0, access_len: 2 });
+        assert_eq!(buf.op(1), FlatOp { compute_ns: 50, access_start: 2, access_len: 0 });
+        assert_eq!(buf.op(2), FlatOp { compute_ns: 25, access_start: 2, access_len: 1 });
+        assert_eq!(buf.access(2).addr, 128);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn arena_recycles_slots() {
+        let mut arena = JobArena::with_capacity(2);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.free_len(), 2);
+        let a = arena.alloc();
+        let b = arena.alloc();
+        assert_ne!(a, b);
+        assert_eq!(arena.live(), 2);
+        // Exhausted pool grows.
+        let c = arena.alloc();
+        assert_eq!(arena.len(), 3);
+        arena.buf_mut(a).push_compute(1);
+        arena.release(a);
+        // The freed slot is reused before any new slot is created.
+        let d = arena.alloc();
+        assert_eq!(d, a);
+        assert_eq!(arena.len(), 3);
+        arena.release(b);
+        arena.release(c);
+        arena.release(d);
+        assert_eq!(arena.free_len(), 3);
+    }
+
+    #[test]
+    fn default_fill_job_matches_next_job() {
+        struct Fixed;
+        impl WorkloadEngine for Fixed {
+            fn next_job(&mut self, _rng: &mut SimRng) -> JobSpec {
+                JobSpec::new(vec![
+                    Operation::new(10, vec![MemoryAccess::read(64), MemoryAccess::write(4096)]),
+                    Operation::compute(5),
+                ])
+            }
+            fn name(&self) -> &'static str {
+                "fixed"
+            }
+        }
+        let mut rng = SimRng::new(1);
+        let mut buf = JobBuf::new();
+        Fixed.fill_job(&mut buf, &mut rng);
+        assert_eq!(buf.decode(), Fixed.next_job(&mut rng));
+    }
+
+    #[test]
+    fn flat_op_stays_packed() {
+        // DESIGN.md §14: the run loop's op fetch is one 16-byte load.
+        assert_eq!(std::mem::size_of::<FlatOp>(), 16, "FlatOp grew; see DESIGN.md §14");
+        assert_eq!(
+            std::mem::size_of::<MemoryAccess>(),
+            24,
+            "MemoryAccess grew; see DESIGN.md §14"
+        );
     }
 
     #[test]

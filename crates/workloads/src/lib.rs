@@ -34,7 +34,7 @@ pub mod zipf;
 
 pub use address_space::{AddressSpace, SimAlloc, BLOCK_SIZE, PAGE_SIZE};
 pub use arrival::PoissonArrivals;
-pub use job::{JobSpec, MemoryAccess, Operation, WorkloadEngine};
+pub use job::{FlatOp, JobArena, JobBuf, JobSpec, MemoryAccess, Operation, WorkloadEngine};
 pub use kind::{WorkloadKind, WorkloadParams};
 pub use popularity::KeyChooser;
 pub use zipf::ZipfGenerator;

@@ -1,0 +1,120 @@
+//! Differential suite for the flat job pipeline (DESIGN.md §14).
+//!
+//! Every engine's `fill_job` must be the decode-identical,
+//! RNG-sequence-identical twin of the retained legacy `next_job`: two
+//! engine instances built from the same (params, seed), driven by two
+//! rngs with the same seed, must agree job by job — including engines
+//! with internal state (TPC-C's circular order-line log, Masstree/RBT
+//! index churn) where a single divergent draw desynchronizes the whole
+//! stream. A second suite stress-tests `JobArena` recycling.
+
+use astriflash_sim::SimRng;
+use astriflash_testkit::prop_check;
+use astriflash_workloads::engines::Tpcc;
+use astriflash_workloads::{
+    JobArena, JobBuf, WorkloadEngine, WorkloadKind, WorkloadParams,
+};
+
+/// `fill_job` decodes exactly to `next_job` for every engine, over long
+/// sequential job streams (ops, compute, access order, vpn/block
+/// pre-resolution — `decode` preserves `MemoryAccess` verbatim, and
+/// `JobSpec`'s `Eq` compares every field).
+#[test]
+fn fill_job_decodes_to_next_job_for_every_engine() {
+    prop_check!(cases: 10, |g| {
+        let engine_seed = g.u64_in(0..1_000);
+        let job_seed = g.u64_in(0..1_000);
+        let params = WorkloadParams::tiny_for_tests();
+        for kind in WorkloadKind::all() {
+            let mut legacy = kind.build(&params, engine_seed);
+            let mut flat = kind.build(&params, engine_seed);
+            let mut legacy_rng = SimRng::new(job_seed);
+            let mut flat_rng = SimRng::new(job_seed);
+            let mut buf = JobBuf::new();
+            for i in 0..40 {
+                let want = legacy.next_job(&mut legacy_rng);
+                flat.fill_job(&mut buf, &mut flat_rng);
+                assert_eq!(
+                    buf.decode(),
+                    want,
+                    "{kind}: flat job {i} diverged (seed {engine_seed}/{job_seed})"
+                );
+                assert_eq!(buf.total_compute_ns(), want.total_compute_ns(), "{kind}");
+                assert_eq!(buf.total_accesses(), want.total_accesses(), "{kind}");
+                assert_eq!(buf.total_writes(), want.total_writes(), "{kind}");
+            }
+        }
+    });
+}
+
+/// The full five-transaction TPC-C mix is not reachable through
+/// `WorkloadKind`, so cover its flat twins explicitly — it exercises
+/// every transaction builder including the stateful order-line log.
+#[test]
+fn tpcc_full_mix_fill_job_matches() {
+    prop_check!(cases: 8, |g| {
+        let job_seed = g.u64_in(0..1_000);
+        let params = WorkloadParams {
+            dataset_bytes: 64 << 20,
+            ..WorkloadParams::tiny_for_tests()
+        };
+        let mut legacy = Tpcc::new(&params, 41).with_full_mix();
+        let mut flat = Tpcc::new(&params, 41).with_full_mix();
+        let mut legacy_rng = SimRng::new(job_seed);
+        let mut flat_rng = SimRng::new(job_seed);
+        let mut buf = JobBuf::new();
+        for i in 0..120 {
+            let want = legacy.next_job(&mut legacy_rng);
+            flat.fill_job(&mut buf, &mut flat_rng);
+            assert_eq!(buf.decode(), want, "full-mix job {i} (seed {job_seed})");
+        }
+    });
+}
+
+/// Arena recycling under interleaved alloc/complete traffic: no slot is
+/// ever handed out twice while live (aliasing), every release is
+/// recycled before the pool grows (leaks), and live buffers keep their
+/// contents until released.
+#[test]
+fn arena_recycling_stress() {
+    prop_check!(cases: 24, |g| {
+        let threads = g.usize_in(1..9);
+        let steps = g.usize_in(10..200);
+        let seed = g.u64_in(0..1_000);
+        let params = WorkloadParams::tiny_for_tests();
+        let mut engine = WorkloadKind::HashTable.build(&params, seed);
+        let mut rng = SimRng::new(seed ^ 0xA5);
+        let mut arena = JobArena::with_capacity(threads);
+        let mut live: Vec<(u32, u64, usize)> = Vec::new(); // (slot, compute, accesses)
+        let mut high_water = arena.len();
+        for step in 0..steps {
+            let complete = !live.is_empty() && (g.any_bool() || live.len() >= threads);
+            if complete {
+                let idx = g.usize_in(0..live.len());
+                let (slot, compute, accesses) = live.swap_remove(idx);
+                // Contents survived while other slots were refilled.
+                let buf = arena.buf(slot);
+                assert_eq!(buf.total_compute_ns(), compute, "step {step}: slot {slot} mutated");
+                assert_eq!(buf.total_accesses(), accesses, "step {step}: slot {slot} mutated");
+                arena.release(slot);
+            } else {
+                let slot = arena.alloc();
+                assert!(
+                    live.iter().all(|&(s, _, _)| s != slot),
+                    "step {step}: slot {slot} aliased while live"
+                );
+                engine.fill_job(arena.buf_mut(slot), &mut rng);
+                let buf = arena.buf(slot);
+                live.push((slot, buf.total_compute_ns(), buf.total_accesses()));
+            }
+            assert_eq!(arena.live(), live.len(), "step {step}: live accounting");
+            assert_eq!(arena.len(), arena.live() + arena.free_len(), "step {step}: leak");
+            high_water = high_water.max(arena.len());
+        }
+        // The pool never grows past the peak concurrency: with at most
+        // `threads` jobs in flight, `with_capacity(threads)` slots are
+        // recycled rather than leaked.
+        assert_eq!(high_water, threads.max(arena.len()));
+        assert!(arena.len() <= threads, "pool grew past peak concurrency");
+    });
+}
