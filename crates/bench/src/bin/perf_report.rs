@@ -1,6 +1,6 @@
 //! Variance-controlled wall-clock performance report (DESIGN.md §12).
 //!
-//! Produces `results/BENCH_8.json` with three sections, every number
+//! Produces `results/BENCH_9.json` with three sections, every number
 //! measured under the adaptive protocol in
 //! [`astriflash_bench::harness`] (warmup-discard, repeat until the
 //! coefficient of variation settles or the rep cap is hit, report the
@@ -12,9 +12,12 @@
 //!   event queue, batched slot drain vs the per-pop-scan wheel, flat
 //!   `PageMap`/FxHash vs SipHash lookups, the table-accelerated vs
 //!   plain-formula Zipf sampler, and the flattened memory path (SoA
-//!   `SramCache`/`Tlb` vs the `Vec<Vec<…>>` tick-LRU references). Each
-//!   pair reports `ratio_vs_baseline` (= baseline median / optimized
-//!   median) — the machine-independent number `perf_gate` pins.
+//!   `SramCache`/`Tlb` vs the `Vec<Vec<…>>` tick-LRU references), and
+//!   the batched hit-run interpreter step (`probe_run` over a
+//!   same-page-segmented slab vs the scalar per-access probe loop,
+//!   DESIGN.md §15). Each pair reports `ratio_vs_baseline` (= baseline
+//!   median / optimized median) — the machine-independent number
+//!   `perf_gate` pins.
 //! * **figure_cells** — median wall seconds and simulation-kernel
 //!   throughput (events/second) for representative fig9 cells, one per
 //!   configuration class. Setup is **hoisted out of the timed region**:
@@ -28,12 +31,20 @@
 //!   DESIGN.md §11).
 //!
 //! ```text
-//! cargo run --release -p astriflash-bench --bin perf_report [-- --smoke]
+//! cargo run --release -p astriflash-bench --bin perf_report [-- --smoke] [-- --profile]
 //! ```
 //!
 //! `--smoke` runs reduced-scale cells under the reduced protocol so CI
 //! can validate the artifact schema in seconds. The committed full-mode
 //! report is gated by `perf_gate` against `results/perf_baseline.json`.
+//!
+//! `--profile` is a diagnostic mode: instead of writing the report it
+//! prints a coarse self-profile of one fig9 AstriFlash run, attributing
+//! its wall-clock to the kernel's hot scopes (job generation, the
+//! TLB+L1 hit path, the on-chip miss path, the event queue, and a
+//! scheduler/other remainder) by combining the run's own operation
+//! counts with the per-operation costs this harness just measured. It
+//! is an estimate for aiming optimization effort, not a gate input.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -351,6 +362,75 @@ fn run_microbenches(cfg: &VarianceConfig, smoke: bool) -> Vec<Pair> {
         optimized: cmb_flat_side,
     });
 
+    // Hit-run batch (DESIGN.md §15): one interpreter step per *run*
+    // instead of one per access. Both sides consume the same all-hit
+    // 64-access slab — 8 page segments of 8 accesses, distinct blocks
+    // within each page, fully resident in TLB and L1 — per iteration.
+    // The baseline is the scalar interleave `do_access` executes (TLB
+    // probe + L1 probe per access); the optimized side is the batched
+    // sequence `do_access_run` executes (one real TLB probe per page
+    // segment, `SramCache::probe_run` over the segment, repeat-hit
+    // accounting via `Tlb::probe_run`).
+    const RUN_PAGES: u64 = 8;
+    const RUN_PER_PAGE: u64 = 8;
+    let slab: Vec<(u64, u64, bool)> = (0..RUN_PAGES)
+        .flat_map(|p| {
+            (0..RUN_PER_PAGE).map(move |i| {
+                let addr = p * 4096 + i * 64;
+                (addr, addr / 4096, (p + i) & 1 == 0)
+            })
+        })
+        .collect();
+    let mut run_scalar_tlb = Tlb::new(1536, 6);
+    let mut run_scalar_l1 = SramCache::new(64 << 10, 4);
+    let mut run_batch_tlb = Tlb::new(1536, 6);
+    let mut run_batch_l1 = SramCache::new(64 << 10, 4);
+    for &(addr, vpn, _) in &slab {
+        run_scalar_tlb.access(vpn);
+        run_scalar_l1.access(addr, false);
+        run_batch_tlb.access(vpn);
+        run_batch_l1.access(addr, false);
+    }
+    let scalar_slab = slab.clone();
+    let run_scalar_side = side(cfg, target, "scalar_per_access", || {
+        let mut hits = 0usize;
+        for &(addr, vpn, w) in &scalar_slab {
+            if run_scalar_tlb.probe(vpn) && run_scalar_l1.probe(addr, w) {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    let run_batch_side = side(cfg, target, "batched_hit_run", || {
+        let mut consumed = 0usize;
+        while consumed < slab.len() {
+            let vpn = slab[consumed].1;
+            let mut seg = 1usize;
+            while consumed + seg < slab.len() && slab[consumed + seg].1 == vpn {
+                seg += 1;
+            }
+            if !run_batch_tlb.probe(vpn) {
+                break;
+            }
+            let l1n = run_batch_l1.probe_run(
+                slab[consumed..consumed + seg].iter().map(|&(a, _, w)| (a, w)),
+            );
+            if l1n < seg {
+                run_batch_tlb.probe_run(std::iter::repeat_n(vpn, l1n));
+                consumed += l1n;
+                break;
+            }
+            run_batch_tlb.probe_run(std::iter::repeat_n(vpn, seg - 1));
+            consumed += seg;
+        }
+        consumed
+    });
+    pairs.push(Pair {
+        name: "access_run",
+        baseline: run_scalar_side,
+        optimized: run_batch_side,
+    });
+
     // Job generation: the legacy nested `JobSpec` builder (fresh op +
     // access vectors per job) vs the flat `fill_job` path writing into a
     // recycled arena buffer — the per-job cost `pick_next` pays on every
@@ -557,6 +637,68 @@ fn run_phase_overhead(cfg: &VarianceConfig, smoke: bool) -> PhaseOverhead {
     out
 }
 
+/// Coarse self-profile (`--profile`): one timed fig9 AstriFlash run,
+/// its wall clock attributed to the kernel's hot scopes by multiplying
+/// the run's own operation counts (from the report metrics) with the
+/// per-operation medians the microbench section just measured. The
+/// scopes cover the interpreter's job pipeline; whatever the model does
+/// not explain — scheduler picks, DRAM-cache/flash service, accounting
+/// — lands in the remainder row, so the table always sums to 100 %.
+fn run_profile(pairs: &[Pair], smoke: bool) {
+    let (sys, jobs) = if smoke {
+        (
+            SystemConfig::default().with_cores(4).scaled_for_tests(),
+            80u64,
+        )
+    } else {
+        (SystemConfig::default(), 200u64)
+    };
+    let cell = Cell::closed(sys, Configuration::AstriFlash, 1, jobs);
+    let prepared = cell.prepare();
+    let start = Instant::now();
+    let report = prepared.run();
+    let wall_ns = start.elapsed().as_nanos() as f64;
+
+    let unit = |name: &str| -> f64 {
+        pairs
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.optimized.sample.median())
+            .unwrap_or(0.0)
+    };
+    let count = |name: &str| report.metrics.count(name).unwrap_or(0) as f64;
+
+    // Per-op model: generation cost per job; fused TLB+L1 probe cost
+    // per on-chip access; set-scan/evict cost per DRAM-cache miss (the
+    // on-chip walk that precedes it); wheel churn cost per kernel event.
+    let tlb_l1 = count("tlb_accesses") * unit("access_path_combined");
+    let job_gen = count("jobs_total") * unit("job_gen");
+    let miss = count("dram_cache_misses") * unit("miss_walk_loop");
+    let events = report.events_processed as f64 * unit("event_queue_churn");
+    let explained = job_gen + tlb_l1 + miss + events;
+    let remainder = (wall_ns - explained).max(0.0);
+
+    println!("== coarse self-profile (fig9 AstriFlash, 1 rep) ==");
+    println!(
+        "wall {:.3} s, {} events, {} jobs",
+        wall_ns / 1e9,
+        report.events_processed,
+        report.jobs_completed
+    );
+    let row = |scope: &str, ns: f64| {
+        println!(
+            "{scope:<26} {:>9.1} ms  {:>5.1} %",
+            ns / 1e6,
+            ns / wall_ns * 100.0
+        );
+    };
+    row("job_gen", job_gen);
+    row("tlb+l1 hit path", tlb_l1);
+    row("on-chip miss path", miss);
+    row("event queue", events);
+    row("scheduler + other (rest)", remainder);
+}
+
 fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
@@ -582,7 +724,7 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"BENCH_8\",");
+    let _ = writeln!(s, "  \"bench\": \"BENCH_9\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(
         s,
@@ -652,6 +794,7 @@ fn render_json(
 
 fn main() -> ExitCode {
     let smoke = std::env::args().any(|a| a == "--smoke" || a == "--quick");
+    let profile = std::env::args().any(|a| a == "--profile");
     let mode = if smoke { "smoke" } else { "full" };
     let cfg = VarianceConfig::for_mode(smoke);
 
@@ -672,6 +815,11 @@ fn main() -> ExitCode {
         );
     }
 
+    if profile {
+        run_profile(&pairs, smoke);
+        return ExitCode::SUCCESS;
+    }
+
     println!("== figure cells ({mode}) ==");
     let cells = run_figure_cells(&cfg, smoke);
 
@@ -680,15 +828,15 @@ fn main() -> ExitCode {
 
     let out = render_json(mode, &cfg, &pairs, &cells, &overhead);
     if let Err(e) = json::validate(&out) {
-        eprintln!("error: BENCH_8.json failed validation: {e}");
+        eprintln!("error: BENCH_9.json failed validation: {e}");
         return ExitCode::FAILURE;
     }
     if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/BENCH_8.json", &out))
+        .and_then(|()| std::fs::write("results/BENCH_9.json", &out))
     {
-        eprintln!("error: writing results/BENCH_8.json: {e}");
+        eprintln!("error: writing results/BENCH_9.json: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote results/BENCH_8.json ({} bytes)", out.len());
+    println!("wrote results/BENCH_9.json ({} bytes)", out.len());
     ExitCode::SUCCESS
 }

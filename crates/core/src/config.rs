@@ -124,6 +124,21 @@ pub struct SystemConfig {
     /// decisions; the knob exists so `perf_report` can measure the
     /// accounting overhead against a true baseline.
     pub phase_attribution: bool,
+    /// Batched hit-run interpreter (DESIGN.md §15): consume leading
+    /// TLB-hit+L1-hit runs of a job's contiguous access slab in one
+    /// pass instead of one interpreter step per access. On by default —
+    /// the batched path is decision-identical to the scalar path
+    /// (proven by the differential suite in
+    /// `crates/core/tests/hit_run_differential.rs`); the knob retains
+    /// the scalar interpreter as the in-tree reference and lets
+    /// `perf_report` pair the two.
+    pub batched_hit_runs: bool,
+    /// Use the in-order stall model ([`astriflash_cpu::OooTiming::in_order`])
+    /// instead of the default OoO overlap model: every memory latency is
+    /// fully exposed as stall. An ablation knob; it also gives the
+    /// differential suite a configuration whose per-access L1 stall is
+    /// nonzero, so hit runs can be truncated by the slice budget.
+    pub in_order_timing: bool,
     /// Time-resolved telemetry (DESIGN.md §13): when set, the run
     /// collects windowed latency/SLO, cache, MSR, and flash-health
     /// series into a `TelemetryReport`. `None` (default) compiles the
@@ -227,6 +242,21 @@ impl SystemConfig {
         self
     }
 
+    /// Builder-style: toggle the batched hit-run interpreter (on by
+    /// default; the differential suite and `perf_report` turn it off to
+    /// run the retained scalar reference path).
+    pub fn with_batched_hit_runs(mut self, enabled: bool) -> Self {
+        self.batched_hit_runs = enabled;
+        self
+    }
+
+    /// Builder-style: run cores with the fully exposed in-order stall
+    /// model (ablation; default is the OoO overlap model).
+    pub fn with_in_order_timing(mut self, enabled: bool) -> Self {
+        self.in_order_timing = enabled;
+        self
+    }
+
     /// Builder-style: attach windowed telemetry (DESIGN.md §13).
     pub fn with_telemetry(mut self, telemetry: crate::telemetry::TelemetryCfg) -> Self {
         self.telemetry = Some(telemetry);
@@ -296,6 +326,8 @@ impl Default for SystemConfig {
             aging_multiplier: 2.0,
             tlb_geometry: (1536, 6),
             phase_attribution: true,
+            batched_hit_runs: true,
+            in_order_timing: false,
             telemetry: None,
             max_sim_time_ms: 200,
             warmup_fraction: 0.1,

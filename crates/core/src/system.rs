@@ -381,6 +381,11 @@ pub struct SystemSim {
     phases: PhaseSet,
     /// Copy of `cfg.phase_attribution` (hot-path gate).
     phase_attr: bool,
+    /// Copy of `cfg.batched_hit_runs` (hot-path gate): when set, the
+    /// interpreter consumes leading TLB+L1 hit runs in one pass
+    /// (DESIGN.md §15); when clear it runs the retained scalar
+    /// reference path, one `do_access` per access.
+    batch_runs: bool,
     /// Core-layer windowed telemetry (latency/completions/SLO); `Some`
     /// iff `cfg.telemetry` is set. Component-layer windows live inside
     /// the DRAM cache, BC, and flash device.
@@ -419,6 +424,11 @@ impl SystemSim {
             Configuration::AstriFlashNoPS => Policy::Fifo,
             _ => Policy::PriorityAging,
         };
+        let timing = if cfg.in_order_timing {
+            OooTiming::in_order()
+        } else {
+            OooTiming::default()
+        };
         let mut cores = Vec::with_capacity(cfg.cores);
         for _ in 0..cfg.cores {
             let mut arch = ArchState::new();
@@ -434,7 +444,7 @@ impl SystemSim {
                 rob: Rob::a76(),
                 sb: StoreBuffer::a76_aso(),
                 arch,
-                timing: OooTiming::default(),
+                timing,
                 threads: (0..threads_per_core).map(|_| None).collect(),
                 cold: (0..threads_per_core).map(|_| ThreadCold::default()).collect(),
                 arena: JobArena::with_capacity(threads_per_core),
@@ -496,6 +506,7 @@ impl SystemSim {
         let hierarchy = CacheHierarchy::new(cfg.cores, cfg.hierarchy.clone());
         let max_time = SimTime::from_ms(cfg.max_sim_time_ms);
         let phase_attr = cfg.phase_attribution;
+        let batch_runs = cfg.batched_hit_runs;
 
         SystemSim {
             cfg,
@@ -533,6 +544,7 @@ impl SystemSim {
             waiter_scratch: Vec::new(),
             phases: PhaseSet::new(),
             phase_attr,
+            batch_runs,
             telem_windows,
             gauge_prev: GaugeWindow::default(),
         }
@@ -997,7 +1009,7 @@ impl SystemSim {
                 core.running = Some(slot);
                 true
             }
-            Pick::Pending { thread, ready } => {
+            Pick::Pending { thread, ready: _ } => {
                 let slot = thread as usize;
                 let t = core.threads[slot]
                     .as_mut()
@@ -1034,7 +1046,6 @@ impl SystemSim {
                 let park_delay = now.saturating_since(parked_at).as_ns();
                 self.park_ns.record(park_delay);
                 core.arch.force_forward_progress();
-                let _ = ready;
                 core.running = Some(slot);
                 true
             }
@@ -1050,15 +1061,14 @@ impl SystemSim {
     fn execute_slice(&mut self, core_id: usize) {
         let start = self.queue.now();
         let mut t = start;
-        let mut busy_from = start;
+        // Busy time always accrues from the slice start: the macro is
+        // only ever invoked immediately before returning, so no
+        // intermediate re-anchoring is needed.
+        let busy_from = start;
         macro_rules! account_busy {
             () => {
                 self.cores[core_id].stats.busy_ns +=
                     t.saturating_since(busy_from).as_ns();
-                #[allow(unused_assignments)]
-                {
-                    busy_from = t;
-                }
             };
         }
         // Apply pending interrupt penalties (shootdown responder cost).
@@ -1090,10 +1100,20 @@ impl SystemSim {
             // Fetch the next step of the job without holding the borrow.
             enum Step {
                 Compute(u64),
+                /// Scalar fallback: one access through `do_access` (the
+                /// forced-progress path, and the reference interpreter
+                /// when `batch_runs` is off).
                 Access(MemoryAccess),
+                /// The op's remaining contiguous slab span, consumed as
+                /// a TLB+L1 hit run (DESIGN.md §15). Only fetched when
+                /// the thread is not in forced-progress state, so the
+                /// per-access `clear_forced` check is hoisted out of
+                /// the dominant hit path entirely.
+                AccessRun { start: u32, len: u32 },
                 JobDone,
             }
             let step = {
+                let batch_runs = self.batch_runs;
                 let core = &mut self.cores[core_id];
                 let th = core.threads[slot].as_mut().expect("running thread");
                 let buf = core.arena.buf(th.job_slot);
@@ -1105,7 +1125,14 @@ impl SystemSim {
                         th.compute_done = true;
                         Step::Compute(op.compute_ns)
                     } else if th.access_idx < op.access_len {
-                        Step::Access(buf.access(op.access_start + th.access_idx))
+                        if th.forced || !batch_runs {
+                            Step::Access(buf.access(op.access_start + th.access_idx))
+                        } else {
+                            Step::AccessRun {
+                                start: op.access_start + th.access_idx,
+                                len: op.access_len - th.access_idx,
+                            }
+                        }
                     } else {
                         th.op_idx += 1;
                         th.access_idx = 0;
@@ -1130,6 +1157,15 @@ impl SystemSim {
                                 .expect("running");
                             th.access_idx += 1;
                         }
+                        AccessResult::Suspended => {
+                            account_busy!();
+                            return;
+                        }
+                    }
+                }
+                Step::AccessRun { start: run_start, len } => {
+                    match self.do_access_run(core_id, slot, run_start, len, t, start) {
+                        AccessResult::Done(t2) => t = t2,
                         AccessResult::Suspended => {
                             account_busy!();
                             return;
@@ -1180,6 +1216,12 @@ impl SystemSim {
             self.measured_jobs += 1;
             let service = t.saturating_since(th.started_at).as_ns();
             self.service_ns.record(service);
+            // Streaming Welford update: `OnlineStats` is a fixed-size
+            // Copy struct (n/mean/m2/min/max), so per-job memory here is
+            // constant no matter how many jobs a run measures — there is
+            // deliberately no per-job sample vector. Bounded-memory and
+            // two-pass-identical moments are pinned by
+            // `crates/core/tests/service_stats.rs`.
             self.service_stats.push(service as f64);
             self.response_ns
                 .record(t.saturating_since(th.arrived_at).as_ns());
@@ -1240,6 +1282,158 @@ impl SystemSim {
         // 2. On-chip hierarchy.
         let outcome = self.hierarchy.access(core_id, addr, is_write);
         self.finish_access(core_id, slot, access, outcome, t)
+    }
+
+    /// Batched hit-run interpreter step (DESIGN.md §15): consumes the
+    /// leading TLB-hit+L1-hit run of the running thread's remaining
+    /// accesses (`run_len` slab entries starting at `run_start`) in one
+    /// pass, then hands the first non-hit access — if it falls inside
+    /// the slice budget — to the scalar miss machinery.
+    ///
+    /// Decision-identity with `run_len` scalar [`SystemSim::do_access`]
+    /// steps (proven by `crates/core/tests/hit_run_differential.rs`)
+    /// rests on four invariants:
+    ///
+    /// * the run is pre-capped to the number of accesses the slice
+    ///   budget admits, so probes the scalar loop would never issue are
+    ///   never issued here;
+    /// * the TLB and L1 probes of a hit access commute (disjoint
+    ///   structures), so probing one page-segment's TLB repeats after
+    ///   its L1 scan leaves the same final state as the scalar
+    ///   per-access interleave — and segment boundaries keep the *set*
+    ///   of probes identical, including the TLB hit the scalar path
+    ///   pays on an L1-missing access;
+    /// * every hit charges the same `effective_stall_ns(l1_latency)`,
+    ///   so one multiply advances time exactly as N scalar additions;
+    /// * the caller only fetches a run when the thread is not in
+    ///   forced-progress state, where `clear_forced` is a no-op — the
+    ///   per-access branch is hoisted, not skipped.
+    fn do_access_run(
+        &mut self,
+        core_id: usize,
+        slot: usize,
+        run_start: u32,
+        run_len: u32,
+        t: SimTime,
+        slice_start: SimTime,
+    ) -> AccessResult {
+        debug_assert!(run_len > 0, "zero-length spans never reach the run step");
+        let timing = self.cores[core_id].timing;
+        let per = timing.effective_stall_ns(self.hierarchy.config().l1_latency_ns);
+        // Cap the run to the slice budget: the scalar loop re-checks the
+        // budget before every access, so access `i` (0-based, stalls of
+        // `per` each) is only reached while `elapsed + i*per <= SLICE_NS`.
+        let elapsed = t.saturating_since(slice_start).as_ns();
+        debug_assert!(elapsed <= SLICE_NS, "caller checked the budget");
+        let cap = match (SLICE_NS - elapsed).checked_div(per) {
+            // per == 0: hits are free, the whole span fits the budget.
+            None => run_len,
+            Some(q) => ((q + 1).min(run_len as u64)) as u32,
+        };
+
+        enum RunStop {
+            /// Budget or end-of-span: nothing left to probe.
+            Exhausted,
+            /// TLB missed the next access; nothing was probed for it.
+            TlbMiss,
+            /// TLB hit but L1 missed the next access; its TLB probe is
+            /// already accounted, the L1 is untouched.
+            L1Miss,
+        }
+        let job_slot = self.cores[core_id].threads[slot]
+            .as_ref()
+            .expect("running thread")
+            .job_slot;
+        let mut consumed: u32 = 0;
+        let (stop, stop_access) = {
+            let hier = &mut self.hierarchy;
+            let core = &mut self.cores[core_id];
+            let slab = &core.arena.buf(job_slot).accesses()
+                [run_start as usize..(run_start + run_len) as usize];
+            let tlb = &mut core.tlb;
+            let stop = loop {
+                if consumed >= cap {
+                    break RunStop::Exhausted;
+                }
+                // Leading same-page segment of the remaining budgeted
+                // accesses (read-only scan).
+                let vpn = slab[consumed as usize].vpn;
+                let mut seg: u32 = 1;
+                while consumed + seg < cap && slab[(consumed + seg) as usize].vpn == vpn {
+                    seg += 1;
+                }
+                // One real TLB probe decides the whole segment; a miss
+                // touches nothing and falls to the scalar walk.
+                if !tlb.probe(vpn) {
+                    break RunStop::TlbMiss;
+                }
+                let l1n = hier.l1_probe_run(
+                    core_id,
+                    slab[consumed as usize..(consumed + seg) as usize]
+                        .iter()
+                        .map(|a| (a.addr, a.is_write)),
+                ) as u32;
+                if l1n < seg {
+                    // The scalar loop probes the TLB of the L1-missing
+                    // access too (a repeat hit of this segment's page)
+                    // before discovering the L1 miss: l1n repeats cover
+                    // accesses 1..l1n plus that one.
+                    tlb.probe_run(std::iter::repeat_n(vpn, l1n as usize));
+                    consumed += l1n;
+                    break RunStop::L1Miss;
+                }
+                // Whole segment hit: one probe done, seg-1 repeats.
+                tlb.probe_run(std::iter::repeat_n(vpn, seg as usize - 1));
+                consumed += seg;
+            };
+            (stop, slab.get(consumed as usize).copied())
+        };
+
+        // Retire the hit run: advance the cursor once and charge the
+        // accumulated stall once (per-access value × count — identical
+        // to N scalar additions of the same rounded per-access stall).
+        let t2 = t + SimDuration::from_ns(per * consumed as u64);
+        self.cores[core_id].threads[slot]
+            .as_mut()
+            .expect("running thread")
+            .access_idx += consumed;
+
+        match stop {
+            RunStop::Exhausted => AccessResult::Done(t2),
+            RunStop::TlbMiss => {
+                // Within budget by construction (consumed < cap). The
+                // scalar path re-probes the TLB, which on a miss is
+                // stateless, then fills and walks as usual.
+                let access = stop_access.expect("miss access is inside the span");
+                match self.do_access(core_id, slot, access, t2) {
+                    AccessResult::Done(t3) => {
+                        self.cores[core_id].threads[slot]
+                            .as_mut()
+                            .expect("running thread")
+                            .access_idx += 1;
+                        AccessResult::Done(t3)
+                    }
+                    AccessResult::Suspended => AccessResult::Suspended,
+                }
+            }
+            RunStop::L1Miss => {
+                // Translation already probed (hit); finish the walk the
+                // L1 probe started — the same continuation `do_access`
+                // takes on its TLB-hit/L1-miss path.
+                let access = stop_access.expect("miss access is inside the span");
+                let outcome = self.hierarchy.miss_walk(core_id, access.addr, access.is_write);
+                match self.finish_access(core_id, slot, access, outcome, t2) {
+                    AccessResult::Done(t3) => {
+                        self.cores[core_id].threads[slot]
+                            .as_mut()
+                            .expect("running thread")
+                            .access_idx += 1;
+                        AccessResult::Done(t3)
+                    }
+                    AccessResult::Suspended => AccessResult::Suspended,
+                }
+            }
+        }
     }
 
     /// Applies an on-chip outcome: charge the latency, then either finish

@@ -1,0 +1,231 @@
+//! Differential suite for the batched hit-run interpreter (DESIGN.md
+//! §15): a run with `batched_hit_runs` on must be *decision-identical*
+//! to the retained scalar reference interpreter — same hit/miss
+//! sequence, same replacement/recency updates, same counters, same
+//! event schedule — so every derived report is bit-for-bit equal.
+//!
+//! Each check runs the same (config, configuration, seed, load) twice,
+//! once per interpreter, and compares the full rendered metric set plus
+//! the raw plain fields (`to_bits` on floats, exact on counts) and the
+//! per-phase miss-latency attribution. A single extra or missing TLB/L1
+//! probe would perturb recency words and show up here as a diverged
+//! hit rate, event count, or service percentile.
+
+use astriflash_core::config::{Configuration, SystemConfig};
+use astriflash_core::experiment::{Experiment, Load, RunReport};
+use astriflash_stats::Phase;
+use astriflash_testkit::prop_check;
+use astriflash_workloads::WorkloadKind;
+
+fn run(cfg: SystemConfig, configuration: Configuration, seed: u64, load: Load) -> RunReport {
+    Experiment::new(cfg, configuration).seed(seed).load(load).run()
+}
+
+/// Runs the batched and scalar interpreters on identical inputs and
+/// asserts the reports are indistinguishable.
+fn assert_batched_matches_scalar(
+    cfg: SystemConfig,
+    configuration: Configuration,
+    seed: u64,
+    load: Load,
+    ctx: &str,
+) {
+    let batched = run(
+        cfg.clone().with_batched_hit_runs(true),
+        configuration,
+        seed,
+        load,
+    );
+    let scalar = run(
+        cfg.with_batched_hit_runs(false),
+        configuration,
+        seed,
+        load,
+    );
+
+    // The rendered metric set covers throughput, service percentiles,
+    // switches, flash traffic, and the TLB/L1/L2/LLC hit-rate + access
+    // count breakdown — any probe-set divergence lands here.
+    assert_eq!(
+        batched.render(),
+        scalar.render(),
+        "{ctx}: rendered reports diverged"
+    );
+    // Event-schedule identity: the exact number of kernel events.
+    assert_eq!(
+        batched.events_processed, scalar.events_processed,
+        "{ctx}: event schedules diverged"
+    );
+    // Raw plain fields, bit-exact (render truncates float precision).
+    assert_eq!(
+        batched.throughput_jobs_per_sec.to_bits(),
+        scalar.throughput_jobs_per_sec.to_bits(),
+        "{ctx}: throughput diverged"
+    );
+    assert_eq!(
+        batched.mean_service_ns.to_bits(),
+        scalar.mean_service_ns.to_bits(),
+        "{ctx}: mean service diverged"
+    );
+    assert_eq!(
+        batched.miss_interval_us.to_bits(),
+        scalar.miss_interval_us.to_bits(),
+        "{ctx}: miss interval diverged"
+    );
+    assert_eq!(batched.p99_service_ns, scalar.p99_service_ns, "{ctx}: p99 service");
+    assert_eq!(batched.p99_response_ns, scalar.p99_response_ns, "{ctx}: p99 response");
+    assert_eq!(batched.jobs_completed, scalar.jobs_completed, "{ctx}: jobs measured");
+    assert!(
+        batched.jobs_completed > 0,
+        "{ctx}: vacuous run — nothing was measured, so nothing was compared"
+    );
+    // Per-phase miss-latency attribution: identical counts and
+    // quantiles for every phase.
+    for phase in Phase::all() {
+        assert_eq!(
+            batched.phases.hist(phase).count(),
+            scalar.phases.hist(phase).count(),
+            "{ctx}: phase {phase:?} count diverged"
+        );
+        assert_eq!(
+            batched.phases.percentiles(phase),
+            scalar.phases.percentiles(phase),
+            "{ctx}: phase {phase:?} percentiles diverged"
+        );
+    }
+}
+
+fn base_cfg() -> SystemConfig {
+    SystemConfig::default().with_cores(2).scaled_for_tests()
+}
+
+/// Randomized sweep over configurations, workloads, TLB geometries,
+/// thread counts, and load shapes — the broad decision-identity net.
+#[test]
+fn batched_interpreter_is_decision_identical_on_random_configs() {
+    const CONFIGURATIONS: [Configuration; 5] = [
+        Configuration::AstriFlash,
+        Configuration::FlashSync,
+        Configuration::OsSwap,
+        Configuration::DramOnly,
+        Configuration::AstriFlashNoPS,
+    ];
+    const WORKLOADS: [WorkloadKind; 4] = [
+        WorkloadKind::Tatp,
+        WorkloadKind::ArraySwap,
+        WorkloadKind::HashTable,
+        WorkloadKind::Masstree,
+    ];
+    prop_check!(cases: 10, |g| {
+        let configuration = CONFIGURATIONS[g.usize_in(0..CONFIGURATIONS.len())];
+        let workload = WORKLOADS[g.usize_in(0..WORKLOADS.len())];
+        // Small TLBs force mid-job evictions; small way counts force
+        // recency-order sensitivity.
+        let tlb_entries = [8usize, 32, 96, 1536][g.usize_in(0..4)];
+        let tlb_ways = [2usize, 4, 6][g.usize_in(0..3)];
+        let threads = g.usize_in(4..25);
+        let seed = g.u64_in(0..1 << 32);
+        let cfg = base_cfg()
+            .with_workload(workload)
+            .with_tlb_geometry(tlb_entries, tlb_ways)
+            .with_threads_per_core(threads);
+        let load = if g.bool_p(0.25) {
+            Load::Open {
+                mean_interarrival_ns: 1500.0,
+                total_jobs: 60,
+            }
+        } else {
+            Load::Closed {
+                jobs_per_core: g.u64_in(20..60),
+            }
+        };
+        assert_batched_matches_scalar(
+            cfg,
+            configuration,
+            seed,
+            load,
+            &format!("{configuration:?}/{workload:?} tlb=({tlb_entries},{tlb_ways}) thr={threads} seed={seed}"),
+        );
+    });
+}
+
+/// Edge: in-order timing exposes the full L1 latency on every hit, so
+/// long hit runs are truncated by the `SLICE_NS` budget mid-run —
+/// exercising the run cap (`(SLICE_NS - elapsed)/per + 1`) against the
+/// scalar loop's per-access budget re-check, including runs cut exactly
+/// at the boundary.
+#[test]
+fn slice_budget_truncation_matches_scalar() {
+    prop_check!(cases: 6, |g| {
+        let seed = g.u64_in(0..1 << 32);
+        let cfg = base_cfg()
+            .with_in_order_timing(true)
+            .with_threads_per_core(g.usize_in(8..25));
+        assert_batched_matches_scalar(
+            cfg,
+            Configuration::AstriFlash,
+            seed,
+            Load::Closed { jobs_per_core: 40 },
+            &format!("in-order seed={seed}"),
+        );
+    });
+}
+
+/// Edge: a tiny TLB plus a small DRAM cache makes evictions and
+/// shootdowns (TLB invalidations landing mid-job, between an op's
+/// accesses) routine — the batched path must re-probe and fall back
+/// exactly where the scalar path would.
+#[test]
+fn shootdown_and_eviction_heavy_config_matches_scalar() {
+    prop_check!(cases: 6, |g| {
+        let seed = g.u64_in(0..1 << 32);
+        let mut cfg = base_cfg()
+            .with_tlb_geometry(8, 2)
+            .with_threads_per_core(g.usize_in(8..25));
+        cfg.dram_cache_fraction = 0.05; // deep misses => reclaim => shootdowns
+        assert_batched_matches_scalar(
+            cfg,
+            Configuration::AstriFlash,
+            seed,
+            Load::Closed { jobs_per_core: 40 },
+            &format!("shootdown-heavy seed={seed}"),
+        );
+    });
+}
+
+/// Edge: ArraySwap issues read-then-write pairs to the same element, so
+/// runs contain write-after-read to the same block — the batched L1
+/// scan must OR the dirty bit on the repeat access exactly as the
+/// scalar probe would.
+#[test]
+fn write_after_read_within_a_run_matches_scalar() {
+    prop_check!(cases: 6, |g| {
+        let seed = g.u64_in(0..1 << 32);
+        let cfg = base_cfg().with_workload(WorkloadKind::ArraySwap);
+        assert_batched_matches_scalar(
+            cfg,
+            Configuration::AstriFlash,
+            seed,
+            Load::Closed { jobs_per_core: 40 },
+            &format!("array-swap seed={seed}"),
+        );
+    });
+}
+
+/// Edge: TPC-C emits compute-only ops (`access_len == 0`, the commit
+/// step) between memory ops, so the interpreter must step over
+/// zero-length access spans without ever fetching a run for them.
+#[test]
+fn zero_length_access_spans_match_scalar() {
+    prop_check!(cases: 4, |g| {
+        let seed = g.u64_in(0..1 << 32);
+        let cfg = base_cfg().with_workload(WorkloadKind::Tpcc);
+        assert_batched_matches_scalar(
+            cfg,
+            Configuration::AstriFlash,
+            seed,
+            Load::Closed { jobs_per_core: 30 },
+            &format!("tpcc seed={seed}"),
+        );
+    });
+}

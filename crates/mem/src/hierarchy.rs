@@ -163,6 +163,22 @@ impl CacheHierarchy {
         self.l1[core].probe(addr, is_write)
     }
 
+    /// Batched L1 hit-run probe for the system's fused hit-run
+    /// interpreter: probes `(addr, is_write)` pairs against `core`'s L1
+    /// in order and returns the length of the leading all-hit run
+    /// ([`SramCache::probe_run`]). State and counters after a return of
+    /// `n` are exactly those after `n` scalar [`CacheHierarchy::l1_probe`]
+    /// calls; the first missing access is untouched and must be finished
+    /// with [`CacheHierarchy::miss_walk`].
+    #[inline]
+    pub fn l1_probe_run(
+        &mut self,
+        core: usize,
+        accesses: impl IntoIterator<Item = (u64, bool)>,
+    ) -> usize {
+        self.l1[core].probe_run(accesses)
+    }
+
     /// Continues an access whose L1 probe already missed: fills L1 and
     /// walks L2 → LLC. Decision-equivalent to the tail of the historical
     /// monolithic walk (L1 victims are dropped, not written through —

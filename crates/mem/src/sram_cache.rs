@@ -164,6 +164,59 @@ impl SramCache {
         true
     }
 
+    /// Batched hit-run probe: probes `(addr, is_write)` pairs in order
+    /// and returns the length of the leading all-hit run, stopping
+    /// *before* the first missing block (which, like a single missing
+    /// [`SramCache::probe`], leaves all state and counters untouched so
+    /// the caller can finish with [`SramCache::miss_fill`]). State after
+    /// a return of `n` is exactly the state after `n` scalar probes —
+    /// proven against a scalar-probe loop in
+    /// `crates/mem/tests/memory_path_differential.rs`.
+    ///
+    /// Consecutive accesses to the same block (read-modify-write,
+    /// adjacent fields) skip the tag scan: the way is already MRU from
+    /// the previous probe, so the promotion splice is the identity and
+    /// only the dirty bit and the hit counter move.
+    #[inline]
+    pub fn probe_run(&mut self, accesses: impl IntoIterator<Item = (u64, bool)>) -> usize {
+        let mut n = 0usize;
+        // INVALID_TAG cannot equal a real block number, so the first
+        // iteration always takes the full scan.
+        let mut prev_block = INVALID_TAG;
+        let mut prev_idx = 0usize;
+        let mut prev_way = 0usize;
+        for (addr, is_write) in accesses {
+            let (idx, tag) = self.index_tag(addr);
+            if tag == prev_block {
+                self.dirty[prev_idx] |= (is_write as u16) << prev_way;
+                self.hits += 1;
+                n += 1;
+                continue;
+            }
+            let base = idx * self.ways;
+            let row = &self.tags[base..base + self.ways];
+            let mut way = usize::MAX;
+            for (w, &t) in row.iter().enumerate() {
+                if t == tag {
+                    way = w;
+                }
+            }
+            if way == usize::MAX {
+                break;
+            }
+            let word = self.order[idx];
+            let pos = nibble_pos(word, way as u64);
+            self.order[idx] = (nibble_remove(word, pos) << 4) | way as u64;
+            self.dirty[idx] |= (is_write as u16) << way;
+            self.hits += 1;
+            prev_block = tag;
+            prev_idx = idx;
+            prev_way = way;
+            n += 1;
+        }
+        n
+    }
+
     /// Miss path: counts the miss and installs `addr`'s block as MRU,
     /// evicting the true-LRU way when the set is full. Must only be
     /// called after [`SramCache::probe`] returned `false` for `addr`.
@@ -398,6 +451,50 @@ mod tests {
         assert_eq!(a.hits(), b.hits());
         assert_eq!(a.misses(), b.misses());
         assert_eq!(a.writebacks(), b.writebacks());
+    }
+
+    #[test]
+    fn probe_run_stops_before_first_miss_and_matches_scalar_probes() {
+        let mut batched = SramCache::new(4096, 4);
+        let mut scalar = SramCache::new(4096, 4);
+        for c in [&mut batched, &mut scalar] {
+            for addr in [0u64, 0x40, 0x80] {
+                c.access(addr, false);
+            }
+        }
+        // Same-block repeats (incl. a write after a read), a hop to
+        // another resident block, then a missing block.
+        let run = [
+            (0u64, false),
+            (0x08, false),
+            (0x10, true),
+            (0x40, false),
+            (0x1000, false),
+            (0x80, false),
+        ];
+        let n = batched.probe_run(run.iter().copied());
+        assert_eq!(n, 4, "stops before the missing block");
+        for &(addr, w) in &run[..n] {
+            assert!(scalar.probe(addr, w), "addr {addr:#x} must hit");
+        }
+        assert_eq!(batched.hits(), scalar.hits());
+        assert_eq!(batched.misses(), scalar.misses());
+        // The write-after-read left block 0 dirty on both sides:
+        // invalidating it reports dirty identically.
+        assert!(batched.invalidate(0));
+        assert!(scalar.invalidate(0));
+        // The missing block was untouched: both still miss it.
+        assert!(!batched.contains(0x1000));
+        assert!(!scalar.contains(0x1000));
+    }
+
+    #[test]
+    fn probe_run_on_empty_iterator_is_a_no_op() {
+        let mut c = SramCache::new(4096, 4);
+        c.access(0, false);
+        assert_eq!(c.probe_run(std::iter::empty()), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 1);
     }
 
     #[test]

@@ -96,3 +96,76 @@ fn geometry_extremes_match_reference() {
         assert_eq!(flat.writebacks(), reference.writebacks());
     }
 }
+
+/// [`SramCache::probe_run`] (the batched hit-run primitive, DESIGN.md
+/// §15) performs exactly the same probes as a scalar `probe` loop
+/// stopping at the first miss: same run length, same counters, and —
+/// checked by diffing post-sequence behaviour, including writeback
+/// dirtiness — the same recency and dirty state. Runs are biased
+/// toward same-block repeats (the memoized path) and write-after-read
+/// pairs, and interleave with fills/invalidations between runs.
+#[test]
+fn probe_run_matches_a_scalar_probe_loop() {
+    prop_check!(cases: 96, |g| {
+        let ways = g.usize_in(1..9);
+        let sets_pow = g.u32_in(0..4); // 1..8 sets
+        let capacity = (ways as u64) * 64 * (1u64 << sets_pow);
+        let mut batched = SramCache::new(capacity, ways);
+        let mut scalar = SramCache::new(capacity, ways);
+        let blocks = batched.num_sets() as u64 * ways as u64 * 3 + 1;
+        for _ in 0..g.usize_in(20..120) {
+            if g.bool_p(0.25) {
+                // Identical mutation on both twins between runs.
+                let addr = g.u64_in(0..blocks) * 64;
+                if g.any_bool() {
+                    let is_write = g.any_bool();
+                    assert_eq!(
+                        batched.access(addr, is_write),
+                        scalar.access(addr, is_write)
+                    );
+                } else {
+                    assert_eq!(batched.invalidate(addr), scalar.invalidate(addr));
+                }
+                continue;
+            }
+            // Random run with same-block repeats and write-after-read.
+            let len = g.usize_in(0..12);
+            let mut run: Vec<(u64, bool)> = Vec::with_capacity(len);
+            for _ in 0..len {
+                let addr = if g.bool_p(0.5) && !run.is_empty() {
+                    run.last().expect("nonempty").0
+                } else {
+                    g.u64_in(0..blocks) * 64 + g.u64_in(0..64)
+                };
+                run.push((addr, g.bool_p(0.4)));
+            }
+            // Scalar reference: probe until the first miss.
+            let mut expect = 0usize;
+            for &(addr, w) in &run {
+                if !scalar.probe(addr, w) {
+                    break;
+                }
+                expect += 1;
+            }
+            assert_eq!(
+                batched.probe_run(run.iter().copied()),
+                expect,
+                "run {run:?} diverged"
+            );
+            assert_eq!(batched.hits(), scalar.hits(), "hit counters diverged");
+            assert_eq!(batched.misses(), scalar.misses(), "miss counters diverged");
+        }
+        // Final-state identity: replay every block as a clean access on
+        // both twins — victim choice and writeback dirtiness expose any
+        // recency-word or dirty-bit divergence left by the runs.
+        for b in 0..blocks {
+            assert_eq!(
+                batched.access(b * 64, false),
+                scalar.access(b * 64, false),
+                "post-sequence access({:#x}) diverged",
+                b * 64
+            );
+        }
+        assert_eq!(batched.writebacks(), scalar.writebacks());
+    });
+}

@@ -92,3 +92,70 @@ fn shipped_geometry_matches_reference() {
     .abs()
         < 1e-12);
 }
+
+/// [`Tlb::probe_run`] (the batched hit-run primitive, DESIGN.md §15)
+/// performs exactly the same probes as a scalar `probe` loop stopping
+/// at the first miss: same return length, same counters, and the same
+/// final recency state — checked by replaying the identical randomized
+/// mix (runs interleaved with invalidations and fills) against a twin
+/// driven one probe at a time, then diffing future behaviour.
+#[test]
+fn probe_run_matches_a_scalar_probe_loop() {
+    prop_check!(cases: 96, |g| {
+        let ways = g.usize_in(1..9);
+        let sets = g.usize_in(1..12);
+        let entries = sets * ways;
+        let mut batched = Tlb::new(entries, ways);
+        let mut scalar = Tlb::new(entries, ways);
+        let vpns = entries as u64 * 3 + 1;
+        for _ in 0..g.usize_in(20..120) {
+            if g.bool_p(0.2) {
+                // Mutate both twins identically between runs: fills and
+                // shootdowns move entries mid-sequence.
+                let vpn = g.u64_in(0..vpns);
+                if g.any_bool() {
+                    assert_eq!(batched.access(vpn), scalar.access(vpn));
+                } else {
+                    assert_eq!(batched.invalidate(vpn), scalar.invalidate(vpn));
+                }
+                continue;
+            }
+            // Random run, deliberately biased toward same-vpn repeats —
+            // the memoized path probe_run takes for page segments.
+            let len = g.usize_in(0..12);
+            let mut run = Vec::with_capacity(len);
+            for _ in 0..len {
+                let vpn = if g.bool_p(0.5) && !run.is_empty() {
+                    *run.last().expect("nonempty")
+                } else {
+                    g.u64_in(0..vpns)
+                };
+                run.push(vpn);
+            }
+            // Scalar reference: probe until the first miss.
+            let mut expect = 0usize;
+            for &vpn in &run {
+                if !scalar.probe(vpn) {
+                    break;
+                }
+                expect += 1;
+            }
+            assert_eq!(
+                batched.probe_run(run.iter().copied()),
+                expect,
+                "run {run:?} diverged"
+            );
+            assert_eq!(batched.hits(), scalar.hits(), "hit counters diverged");
+            assert_eq!(batched.misses(), scalar.misses(), "miss counters diverged");
+        }
+        // Final-state identity: every vpn must land the same way on both
+        // twins after the whole interleave (recency words agree).
+        for vpn in 0..vpns {
+            assert_eq!(
+                batched.access(vpn),
+                scalar.access(vpn),
+                "post-sequence access({vpn}) diverged"
+            );
+        }
+    });
+}

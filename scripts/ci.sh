@@ -59,12 +59,12 @@ test -s results/latency_breakdown.csv
 echo "==> perf lane: perf_report (full, release) + perf_gate"
 # Variance-controlled measurement (DESIGN.md §12): warmup-discard,
 # adaptive reps to a CV target, medians + baseline-relative ratios into
-# results/BENCH_8.json. perf_gate then checks every pinned floor in
+# results/BENCH_9.json. perf_gate then checks every pinned floor in
 # results/perf_baseline.json (with its explicit noise margins) and
 # exits non-zero on any violation, printing the offending ratios —
 # perf regressions are un-mergeable, not merely recorded.
 cargo run --release -q -p astriflash-bench --bin perf_report
-test -s results/BENCH_8.json
+test -s results/BENCH_9.json
 cargo run --release -q -p astriflash-bench --bin perf_gate
 
 echo "CI green."
