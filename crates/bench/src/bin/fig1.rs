@@ -11,6 +11,9 @@ use astriflash_stats::{CsvDoc, TextTable};
 use astriflash_workloads::{WorkloadKind, WorkloadParams};
 
 fn main() {
+    // Opt-in host-time self-profile (ASTRIFLASH_PROFILE=tree|folded),
+    // reported on stderr when the process exits.
+    let _prof = astriflash_prof::env_session();
     let opts = HarnessOpts::from_args();
     let params = if opts.quick {
         WorkloadParams::tiny_for_tests()

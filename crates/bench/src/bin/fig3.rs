@@ -16,6 +16,9 @@ fn fmt(v: Option<f64>) -> String {
 }
 
 fn main() {
+    // Opt-in host-time self-profile (ASTRIFLASH_PROFILE=tree|folded),
+    // reported on stderr when the process exits.
+    let _prof = astriflash_prof::env_session();
     let systems = fig3::Fig3Systems::paper_defaults();
     let points = fig3::sweep(&systems, &fig3::default_loads());
 

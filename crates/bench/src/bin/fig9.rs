@@ -12,6 +12,9 @@ use astriflash_stats::{CsvDoc, TextTable};
 use astriflash_workloads::WorkloadKind;
 
 fn main() {
+    // Opt-in host-time self-profile (ASTRIFLASH_PROFILE=tree|folded),
+    // reported on stderr when the process exits.
+    let _prof = astriflash_prof::env_session();
     let opts = HarnessOpts::from_args();
     let base = opts.system_config();
     let configs = Configuration::all();

@@ -36,6 +36,9 @@ const SYSTEMS: [Configuration; 4] = [
 ];
 
 fn main() -> ExitCode {
+    // Opt-in host-time self-profile (ASTRIFLASH_PROFILE=tree|folded),
+    // reported on stderr when the process exits.
+    let _prof = astriflash_prof::env_session();
     let opts = HarnessOpts::from_args();
     let base = opts.system_config();
     let cells: Vec<Cell> = SYSTEMS

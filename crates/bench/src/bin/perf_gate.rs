@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p astriflash-bench --bin perf_gate \
-//!     [-- --bench results/BENCH_9.json --baseline results/perf_baseline.json]
+//!     [-- --bench results/BENCH_10.json --baseline results/perf_baseline.json]
 //! ```
 //!
 //! Loads the freshly generated BENCH report and the committed baseline
@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use astriflash_bench::gate::{gate, write_baseline};
 
 fn main() -> ExitCode {
-    let mut bench_path = "results/BENCH_9.json".to_owned();
+    let mut bench_path = "results/BENCH_10.json".to_owned();
     let mut baseline_path = "results/perf_baseline.json".to_owned();
     let mut write = false;
     let mut allow_lower = false;

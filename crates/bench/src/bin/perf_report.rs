@@ -1,6 +1,6 @@
 //! Variance-controlled wall-clock performance report (DESIGN.md §12).
 //!
-//! Produces `results/BENCH_9.json` with three sections, every number
+//! Produces `results/BENCH_10.json` with four sections, every number
 //! measured under the adaptive protocol in
 //! [`astriflash_bench::harness`] (warmup-discard, repeat until the
 //! coefficient of variation settles or the rep cap is hit, report the
@@ -8,27 +8,27 @@
 //! bar):
 //!
 //! * **microbenches** — paired baseline-vs-optimized timings of the
-//!   kernel hot paths overhauled so far: timer-wheel vs binary-heap
-//!   event queue, batched slot drain vs the per-pop-scan wheel, flat
-//!   `PageMap`/FxHash vs SipHash lookups, the table-accelerated vs
-//!   plain-formula Zipf sampler, and the flattened memory path (SoA
-//!   `SramCache`/`Tlb` vs the `Vec<Vec<…>>` tick-LRU references), and
-//!   the batched hit-run interpreter step (`probe_run` over a
-//!   same-page-segmented slab vs the scalar per-access probe loop,
-//!   DESIGN.md §15). Each pair reports `ratio_vs_baseline` (= baseline
-//!   median / optimized median) — the machine-independent number
-//!   `perf_gate` pins.
+//!   kernel hot paths overhauled so far (see
+//!   [`astriflash_bench::micro`]). Each pair reports
+//!   `ratio_vs_baseline` (= baseline median / optimized median) — the
+//!   machine-independent number `perf_gate` pins.
 //! * **figure_cells** — median wall seconds and simulation-kernel
 //!   throughput (events/second) for representative fig9 cells, one per
 //!   configuration class. Setup is **hoisted out of the timed region**:
 //!   each repetition builds the `SystemSim` via [`Cell::prepare`]
 //!   untimed and clocks only the event loop. Where the committed
 //!   baseline pins a floor, `ratio_vs_baseline` = measured rate /
-//!   pinned floor.
+//!   pinned floor. These cells run with the scope profiler
+//!   *instrumented but disabled* — the floors therefore pin the
+//!   disabled-path overhead budget (DESIGN.md §16).
 //! * **phase_attribution** — the fig9 AstriFlash cell with per-phase
 //!   latency attribution on vs off (interleaved reps, median per side),
 //!   reporting the accounting overhead as a percentage (target ≤ 3 %,
 //!   DESIGN.md §11).
+//! * **host_prof** — the same cell with a host-side scope-profiling
+//!   session attached vs detached (interleaved reps), reporting the
+//!   enabled-profiler overhead as a percentage. `perf_gate` enforces
+//!   the `host_prof.overhead_ceiling_pct` pinned in the baseline.
 //!
 //! ```text
 //! cargo run --release -p astriflash-bench --bin perf_report [-- --smoke] [-- --profile]
@@ -39,425 +39,24 @@
 //! report is gated by `perf_gate` against `results/perf_baseline.json`.
 //!
 //! `--profile` is a diagnostic mode: instead of writing the report it
-//! prints a coarse self-profile of one fig9 AstriFlash run, attributing
-//! its wall-clock to the kernel's hot scopes (job generation, the
-//! TLB+L1 hit path, the on-chip miss path, the event queue, and a
-//! scheduler/other remainder) by combining the run's own operation
-//! counts with the per-operation costs this harness just measured. It
-//! is an estimate for aiming optimization effort, not a gate input.
+//! prints the *measured* self-profile of one fig9 AstriFlash run — the
+//! scope tree from [`astriflash_prof`] — followed by a side-by-side
+//! table comparing the measured attribution with the legacy
+//! counts×unit-cost estimate (operation counts from the run's own
+//! report times the per-operation medians this harness just measured).
+//! The drift column is the model error in percentage points; the
+//! measured column is ground truth for aiming optimization effort.
 
-use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use astriflash_bench::harness::{
-    calibrate_iters, measure_ns_per_iter, measure_prepared, Sample, VarianceConfig,
-};
+use astriflash_bench::harness::{measure_prepared, Sample, VarianceConfig};
+use astriflash_bench::micro::{run_microbenches, Pair};
+use astriflash_bench::selfprofile::{profile_cell, profile_rows, render_rows, UnitCosts};
 use astriflash_core::config::{Configuration, SystemConfig};
 use astriflash_core::sweep::Cell;
-use astriflash_mem::{RefSramCache, SramCache};
-use astriflash_os::{RefTlb, Tlb};
-use astriflash_sim::{
-    EventQueue, HeapEventQueue, PageMap, ScanEventQueue, SimDuration, SimRng, SimTime,
-};
 use astriflash_trace::json;
-use astriflash_workloads::{JobBuf, WorkloadKind, WorkloadParams, ZipfGenerator};
-
-/// Steady-state churn depth for the event-queue pair.
-const QUEUE_DEPTH: u64 = 1 << 16;
-/// Same-tick burst width for the slot-drain pair.
-const BURST: u64 = 8;
-/// Wall-clock target per measured repetition of a microbench.
-const REP_TARGET_NS: u64 = 2_000_000;
-
-struct Side {
-    label: &'static str,
-    sample: Sample,
-}
-
-struct Pair {
-    name: &'static str,
-    baseline: Side,
-    optimized: Side,
-}
-
-impl Pair {
-    /// Machine-independent speedup: baseline median over optimized
-    /// median. This is the number the gate pins.
-    fn ratio_vs_baseline(&self) -> f64 {
-        let opt = self.optimized.sample.median();
-        if opt > 0.0 {
-            self.baseline.sample.median() / opt
-        } else {
-            0.0
-        }
-    }
-}
-
-/// Measures one microbench side: calibrates the per-rep iteration count
-/// to the mode's target, then runs the adaptive protocol.
-fn side<T>(
-    cfg: &VarianceConfig,
-    target_ns: u64,
-    label: &'static str,
-    mut op: impl FnMut() -> T,
-) -> Side {
-    let iters = calibrate_iters(target_ns, &mut op);
-    Side {
-        label,
-        sample: measure_ns_per_iter(cfg, iters, op),
-    }
-}
-
-fn run_microbenches(cfg: &VarianceConfig, smoke: bool) -> Vec<Pair> {
-    let target = if smoke {
-        REP_TARGET_NS / 10
-    } else {
-        REP_TARGET_NS
-    };
-    let mut pairs = Vec::new();
-
-    // Event queue: pop-one/push-one churn at steady depth, identical
-    // delay stream for both implementations. Delays follow the
-    // simulator's bimodal mix: ~2 µs compute slices and ~100 µs flash
-    // reads, each with jitter.
-    let mut wheel: EventQueue<u64> = EventQueue::new();
-    let mut heap: HeapEventQueue<u64> = HeapEventQueue::new();
-    for i in 0..QUEUE_DEPTH {
-        wheel.schedule(SimTime::from_ns(i * 64), i);
-        heap.schedule(SimTime::from_ns(i * 64), i);
-    }
-    let delay_of = |lcg: u64| {
-        if lcg & 1 == 0 {
-            2_000 + (lcg >> 54)
-        } else {
-            100_000 + (lcg >> 48)
-        }
-    };
-    let mut lcg = 0x243F_6A88_85A3_08D3u64;
-    let wheel_side = side(cfg, target, "timer_wheel", || {
-        let (now, _) = wheel.pop().unwrap();
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
-        wheel.schedule(now + SimDuration::from_ns(delay_of(lcg)), 0);
-    });
-    lcg = 0x243F_6A88_85A3_08D3;
-    let heap_side = side(cfg, target, "binary_heap", || {
-        let (now, _) = heap.pop().unwrap();
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
-        heap.schedule(now + SimDuration::from_ns(delay_of(lcg)), 0);
-    });
-    pairs.push(Pair {
-        name: "event_queue_churn",
-        baseline: heap_side,
-        optimized: wheel_side,
-    });
-
-    // Slot drain: same-tick bursts, the case batched dispatch targets.
-    // Each op pops a whole burst and reschedules it as one burst at a
-    // single future timestamp, so every level-0 slot holds BURST
-    // entries: the batched wheel drains it in one pass where the
-    // per-pop-scan wheel rescans the slot for its minimum seq on every
-    // pop.
-    let mut batched: EventQueue<u64> = EventQueue::new();
-    let mut scan: ScanEventQueue<u64> = ScanEventQueue::new();
-    for i in 0..(QUEUE_DEPTH / BURST) {
-        for j in 0..BURST {
-            batched.schedule(SimTime::from_ns(i * 4096), j);
-            scan.schedule(SimTime::from_ns(i * 4096), j);
-        }
-    }
-    let batched_side = side(cfg, target, "batched_slot_drain", || {
-        let (now, _) = batched.pop().unwrap();
-        for _ in 1..BURST {
-            batched.pop().unwrap();
-        }
-        let at = now + SimDuration::from_ns(100_000);
-        for j in 0..BURST {
-            batched.schedule(at, j);
-        }
-    });
-    let scan_side = side(cfg, target, "per_pop_scan", || {
-        let (now, _) = scan.pop().unwrap();
-        for _ in 1..BURST {
-            scan.pop().unwrap();
-        }
-        let at = now + SimDuration::from_ns(100_000);
-        for j in 0..BURST {
-            scan.schedule(at, j);
-        }
-    });
-    pairs.push(Pair {
-        name: "slot_drain",
-        baseline: scan_side,
-        optimized: batched_side,
-    });
-
-    // Hashing: steady-state churn over 64 Ki resident pages — one hit
-    // lookup, one remove, one insert per iteration, the op mix of the
-    // FTL map and the in-flight miss maps (hash cost is paid on every
-    // op).
-    let mut page_map: PageMap<u64> = PageMap::with_capacity(1 << 16);
-    let mut sip_map: HashMap<u64, u64> = HashMap::with_capacity(1 << 16);
-    for k in 0..(1u64 << 16) {
-        page_map.insert(k * 7, k);
-        sip_map.insert(k * 7, k);
-    }
-    let mut base = 0u64;
-    let mut key = 1u64;
-    let flat_side = side(cfg, target, "flat_page_map", || {
-        key = key.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let hit = page_map.get((base + (key >> 48)) * 7);
-        page_map.remove(base * 7);
-        page_map.insert((base + (1 << 16)) * 7, base);
-        base += 1;
-        hit
-    });
-    base = 0;
-    key = 1;
-    let sip_side = side(cfg, target, "siphash_hashmap", || {
-        key = key.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let hit = sip_map.get(&((base + (key >> 48)) * 7)).copied();
-        sip_map.remove(&(base * 7));
-        sip_map.insert((base + (1 << 16)) * 7, base);
-        base += 1;
-        hit
-    });
-    pairs.push(Pair {
-        name: "page_map_churn",
-        baseline: sip_side,
-        optimized: flat_side,
-    });
-
-    // Zipf: table-accelerated vs plain inverse-CDF, same draw stream.
-    // A hot domain where the coverage gate retains the table; at figure
-    // scale the generator self-disables it and the pair would be ~1.0x
-    // by construction.
-    let zipf_fast = ZipfGenerator::new(1 << 12, 0.99);
-    let zipf_slow = ZipfGenerator::without_table(1 << 12, 0.99);
-    assert!(zipf_fast.table_coverage() > 0.0, "table unexpectedly gated");
-    let mut rng_f = SimRng::new(11);
-    let table_side = side(cfg, target, "cached_cdf_table", || zipf_fast.sample(&mut rng_f));
-    let mut rng_s = SimRng::new(11);
-    let formula_side = side(cfg, target, "inverse_cdf_formula", || zipf_slow.sample(&mut rng_s));
-    pairs.push(Pair {
-        name: "zipf_sample",
-        baseline: formula_side,
-        optimized: table_side,
-    });
-
-    // L1 hit loop: the dominant access-path case. A 64 KiB / 4-way L1
-    // (the shipped geometry) with a half-resident working set, probed
-    // with the same LCG-scrambled stream for both layouts — every access
-    // hits, so this times the probe + MRU-promotion path alone.
-    let mut l1_flat = SramCache::new(64 << 10, 4);
-    let mut l1_ref = RefSramCache::new(64 << 10, 4);
-    let resident: u64 = 512; // blocks, < 1024-block capacity
-    for b in 0..resident {
-        l1_flat.access(b * 64, false);
-        l1_ref.access(b * 64, false);
-    }
-    // The flat side times `probe` — the exact call the simulator's
-    // inlined fast path makes per L1 hit; the reference side times the
-    // monolithic `access` the old path made.
-    let mut lcg_f = 0x9E37_79B9u64;
-    let l1_flat_side = side(cfg, target, "flat_soa_order_word", || {
-        lcg_f = lcg_f.wrapping_mul(6364136223846793005).wrapping_add(1);
-        l1_flat.probe((lcg_f >> 32) % resident * 64, lcg_f & 1 == 0)
-    });
-    let mut lcg_r = 0x9E37_79B9u64;
-    let l1_ref_side = side(cfg, target, "vec_of_vecs_tick_lru", || {
-        lcg_r = lcg_r.wrapping_mul(6364136223846793005).wrapping_add(1);
-        l1_ref.access((lcg_r >> 32) % resident * 64, lcg_r & 1 == 0)
-    });
-    pairs.push(Pair {
-        name: "l1_hit_loop",
-        baseline: l1_ref_side,
-        optimized: l1_flat_side,
-    });
-
-    // Miss-walk loop: an always-missing store stream over 8x the reach
-    // of a small cache, so every access scans a full set, evicts the LRU
-    // way, and (for stores) produces dirty writebacks.
-    let mut mw_flat = SramCache::new(16 << 10, 8);
-    let mut mw_ref = RefSramCache::new(16 << 10, 8);
-    let mw_blocks = (16u64 << 10) / 64 * 8;
-    let mut mw_next_f = 0u64;
-    let mw_flat_side = side(cfg, target, "flat_soa_order_word", || {
-        let addr = mw_next_f % mw_blocks * 64;
-        mw_next_f += 1;
-        mw_flat.access(addr, true)
-    });
-    let mut mw_next_r = 0u64;
-    let mw_ref_side = side(cfg, target, "vec_of_vecs_tick_lru", || {
-        let addr = mw_next_r % mw_blocks * 64;
-        mw_next_r += 1;
-        mw_ref.access(addr, true)
-    });
-    pairs.push(Pair {
-        name: "miss_walk_loop",
-        baseline: mw_ref_side,
-        optimized: mw_flat_side,
-    });
-
-    // TLB probe: the shipped 1536-entry / 6-way geometry under a
-    // resident vpn stream — every lookup hits, timing the probe +
-    // promotion path the combined fast path executes per access.
-    let mut tlb_flat = Tlb::new(1536, 6);
-    let mut tlb_ref = RefTlb::new(1536, 6);
-    let vpns: u64 = 768; // half-resident
-    for v in 0..vpns {
-        tlb_flat.access(v);
-        tlb_ref.access(v);
-    }
-    let mut tlcg_f = 0x2545_F491u64;
-    let tlb_flat_side = side(cfg, target, "flat_soa_order_word", || {
-        tlcg_f = tlcg_f.wrapping_mul(6364136223846793005).wrapping_add(1);
-        tlb_flat.probe((tlcg_f >> 32) % vpns)
-    });
-    let mut tlcg_r = 0x2545_F491u64;
-    let tlb_ref_side = side(cfg, target, "vec_of_vecs_tick_lru", || {
-        tlcg_r = tlcg_r.wrapping_mul(6364136223846793005).wrapping_add(1);
-        tlb_ref.access((tlcg_r >> 32) % vpns)
-    });
-    pairs.push(Pair {
-        name: "tlb_probe",
-        baseline: tlb_ref_side,
-        optimized: tlb_flat_side,
-    });
-
-    // Combined access path: the fused TLB-hit + L1-hit sequence
-    // `do_access` executes for the dominant case, against the reference
-    // composition it replaced. The resident set is page-strided — one
-    // block per page — so it exactly fills the L1 (128 sets x 4 ways)
-    // while spreading translations across the TLB's sets, exercising
-    // both probes rather than hammering a handful of hot pages.
-    let mut cmb_flat_tlb = Tlb::new(1536, 6);
-    let mut cmb_flat_l1 = SramCache::new(64 << 10, 4);
-    let mut cmb_ref_tlb = RefTlb::new(1536, 6);
-    let mut cmb_ref_l1 = RefSramCache::new(64 << 10, 4);
-    let cmb_addr = |i: u64| i * 4096 + (i % 64) * 64;
-    for i in 0..resident {
-        cmb_flat_tlb.access(cmb_addr(i) / 4096);
-        cmb_ref_tlb.access(cmb_addr(i) / 4096);
-        cmb_flat_l1.access(cmb_addr(i), false);
-        cmb_ref_l1.access(cmb_addr(i), false);
-    }
-    let mut clcg_f = 0x4528_21E6u64;
-    let cmb_flat_side = side(cfg, target, "fused_probe_fast_path", || {
-        clcg_f = clcg_f.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let addr = cmb_addr((clcg_f >> 32) % resident);
-        cmb_flat_tlb.probe(addr / 4096) && cmb_flat_l1.probe(addr, clcg_f & 1 == 0)
-    });
-    let mut clcg_r = 0x4528_21E6u64;
-    let cmb_ref_side = side(cfg, target, "tick_lru_tlb_plus_l1", || {
-        clcg_r = clcg_r.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let addr = cmb_addr((clcg_r >> 32) % resident);
-        let _ = cmb_ref_tlb.access(addr / 4096);
-        cmb_ref_l1.access(addr, clcg_r & 1 == 0).is_hit()
-    });
-    pairs.push(Pair {
-        name: "access_path_combined",
-        baseline: cmb_ref_side,
-        optimized: cmb_flat_side,
-    });
-
-    // Hit-run batch (DESIGN.md §15): one interpreter step per *run*
-    // instead of one per access. Both sides consume the same all-hit
-    // 64-access slab — 8 page segments of 8 accesses, distinct blocks
-    // within each page, fully resident in TLB and L1 — per iteration.
-    // The baseline is the scalar interleave `do_access` executes (TLB
-    // probe + L1 probe per access); the optimized side is the batched
-    // sequence `do_access_run` executes (one real TLB probe per page
-    // segment, `SramCache::probe_run` over the segment, repeat-hit
-    // accounting via `Tlb::probe_run`).
-    const RUN_PAGES: u64 = 8;
-    const RUN_PER_PAGE: u64 = 8;
-    let slab: Vec<(u64, u64, bool)> = (0..RUN_PAGES)
-        .flat_map(|p| {
-            (0..RUN_PER_PAGE).map(move |i| {
-                let addr = p * 4096 + i * 64;
-                (addr, addr / 4096, (p + i) & 1 == 0)
-            })
-        })
-        .collect();
-    let mut run_scalar_tlb = Tlb::new(1536, 6);
-    let mut run_scalar_l1 = SramCache::new(64 << 10, 4);
-    let mut run_batch_tlb = Tlb::new(1536, 6);
-    let mut run_batch_l1 = SramCache::new(64 << 10, 4);
-    for &(addr, vpn, _) in &slab {
-        run_scalar_tlb.access(vpn);
-        run_scalar_l1.access(addr, false);
-        run_batch_tlb.access(vpn);
-        run_batch_l1.access(addr, false);
-    }
-    let scalar_slab = slab.clone();
-    let run_scalar_side = side(cfg, target, "scalar_per_access", || {
-        let mut hits = 0usize;
-        for &(addr, vpn, w) in &scalar_slab {
-            if run_scalar_tlb.probe(vpn) && run_scalar_l1.probe(addr, w) {
-                hits += 1;
-            }
-        }
-        hits
-    });
-    let run_batch_side = side(cfg, target, "batched_hit_run", || {
-        let mut consumed = 0usize;
-        while consumed < slab.len() {
-            let vpn = slab[consumed].1;
-            let mut seg = 1usize;
-            while consumed + seg < slab.len() && slab[consumed + seg].1 == vpn {
-                seg += 1;
-            }
-            if !run_batch_tlb.probe(vpn) {
-                break;
-            }
-            let l1n = run_batch_l1.probe_run(
-                slab[consumed..consumed + seg].iter().map(|&(a, _, w)| (a, w)),
-            );
-            if l1n < seg {
-                run_batch_tlb.probe_run(std::iter::repeat_n(vpn, l1n));
-                consumed += l1n;
-                break;
-            }
-            run_batch_tlb.probe_run(std::iter::repeat_n(vpn, seg - 1));
-            consumed += seg;
-        }
-        consumed
-    });
-    pairs.push(Pair {
-        name: "access_run",
-        baseline: run_scalar_side,
-        optimized: run_batch_side,
-    });
-
-    // Job generation: the legacy nested `JobSpec` builder (fresh op +
-    // access vectors per job) vs the flat `fill_job` path writing into a
-    // recycled arena buffer — the per-job cost `pick_next` pays on every
-    // scheduling decision. TATP is the composer's default workload, at
-    // the same scaled-down parameters `SystemConfig::default()` uses;
-    // both sides draw identical RNG streams (the differential suite
-    // proves the outputs decode identically).
-    let params = WorkloadParams::scaled_down();
-    let mut gen_legacy = WorkloadKind::Tatp.build(&params, 31);
-    let mut gen_flat = WorkloadKind::Tatp.build(&params, 31);
-    let mut rng_legacy = SimRng::new(77);
-    let mut rng_flat = SimRng::new(77);
-    let mut job_buf = JobBuf::new();
-    let legacy_side = side(cfg, target, "job_gen", || {
-        gen_legacy.next_job(&mut rng_legacy)
-    });
-    let flat_side = side(cfg, target, "job_gen_flat", || {
-        gen_flat.fill_job(&mut job_buf, &mut rng_flat)
-    });
-    pairs.push(Pair {
-        name: "job_gen",
-        baseline: legacy_side,
-        optimized: flat_side,
-    });
-
-    pairs
-}
+use std::fmt::Write as _;
 
 struct FigureCell {
     name: &'static str,
@@ -566,13 +165,15 @@ fn run_figure_cells(cfg: &VarianceConfig, smoke: bool) -> Vec<FigureCell> {
         .collect()
 }
 
-struct PhaseOverhead {
+/// Interleaved on/off overhead measurement, condensed to a median + CV
+/// per side. Used for both phase attribution and the host profiler.
+struct OnOffOverhead {
     off: Sample,
     on: Sample,
     events: u64,
 }
 
-impl PhaseOverhead {
+impl OnOffOverhead {
     fn overhead_pct(&self) -> f64 {
         let off = self.off.median();
         if off > 0.0 {
@@ -583,19 +184,23 @@ impl PhaseOverhead {
     }
 }
 
-/// Times the fig9 AstriFlash cell with phase attribution on vs off.
-/// Runs are interleaved (off/on per rep) so drift hits both sides
-/// equally; each side is condensed to a median + CV. Setup is prepared
-/// outside the clock here too.
-fn run_phase_overhead(cfg: &VarianceConfig, smoke: bool) -> PhaseOverhead {
-    let (sys, jobs) = if smoke {
+fn overhead_scale(smoke: bool) -> (SystemConfig, u64) {
+    if smoke {
         (
             SystemConfig::default().with_cores(4).scaled_for_tests(),
             80u64,
         )
     } else {
         (SystemConfig::default(), 200u64)
-    };
+    }
+}
+
+/// Times the fig9 AstriFlash cell with phase attribution on vs off.
+/// Runs are interleaved (off/on per rep) so drift hits both sides
+/// equally; each side is condensed to a median + CV. Setup is prepared
+/// outside the clock here too.
+fn run_phase_overhead(cfg: &VarianceConfig, smoke: bool) -> OnOffOverhead {
+    let (sys, jobs) = overhead_scale(smoke);
     let reps = cfg.max_reps.max(1);
     let cell_off = Cell::closed(
         sys.clone().with_phase_attribution(false),
@@ -622,7 +227,7 @@ fn run_phase_overhead(cfg: &VarianceConfig, smoke: bool) -> PhaseOverhead {
         );
         events = r_on.events_processed;
     }
-    let out = PhaseOverhead {
+    let out = OnOffOverhead {
         off: Sample::from_reps(off_walls),
         on: Sample::from_reps(on_walls),
         events,
@@ -637,66 +242,77 @@ fn run_phase_overhead(cfg: &VarianceConfig, smoke: bool) -> PhaseOverhead {
     out
 }
 
-/// Coarse self-profile (`--profile`): one timed fig9 AstriFlash run,
-/// its wall clock attributed to the kernel's hot scopes by multiplying
-/// the run's own operation counts (from the report metrics) with the
-/// per-operation medians the microbench section just measured. The
-/// scopes cover the interpreter's job pipeline; whatever the model does
-/// not explain — scheduler picks, DRAM-cache/flash service, accounting
-/// — lands in the remainder row, so the table always sums to 100 %.
-fn run_profile(pairs: &[Pair], smoke: bool) {
-    let (sys, jobs) = if smoke {
-        (
-            SystemConfig::default().with_cores(4).scaled_for_tests(),
-            80u64,
-        )
-    } else {
-        (SystemConfig::default(), 200u64)
-    };
+/// Times the fig9 AstriFlash cell with a host-profiling session
+/// attached vs detached, interleaved like `run_phase_overhead`. The
+/// detached side is the instrumented-but-disabled path every normal
+/// run pays (one relaxed load + branch per scope); the attached side
+/// adds two clock reads plus tree accounting per scope. The resulting
+/// `overhead_pct` is what the gate's ceiling pins.
+fn run_host_prof_overhead(cfg: &VarianceConfig, smoke: bool) -> OnOffOverhead {
+    let (sys, jobs) = overhead_scale(smoke);
+    let reps = cfg.max_reps.max(1);
     let cell = Cell::closed(sys, Configuration::AstriFlash, 1, jobs);
-    let prepared = cell.prepare();
-    let start = Instant::now();
-    let report = prepared.run();
-    let wall_ns = start.elapsed().as_nanos() as f64;
-
-    let unit = |name: &str| -> f64 {
-        pairs
-            .iter()
-            .find(|p| p.name == name)
-            .map(|p| p.optimized.sample.median())
-            .unwrap_or(0.0)
+    let mut off_walls = Vec::with_capacity(reps);
+    let mut on_walls = Vec::with_capacity(reps);
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let prepared = cell.prepare();
+        let start = Instant::now();
+        let r = prepared.run();
+        off_walls.push(start.elapsed().as_secs_f64());
+        let prepared = cell.prepare();
+        let session = astriflash_prof::begin();
+        let start = Instant::now();
+        let r_on = prepared.run();
+        on_walls.push(start.elapsed().as_secs_f64());
+        let profile = session.finish();
+        assert_eq!(
+            r.events_processed, r_on.events_processed,
+            "profiling must not change the event stream"
+        );
+        assert!(
+            !profile.is_empty(),
+            "profiled rep produced an empty scope tree"
+        );
+        events = r_on.events_processed;
+    }
+    let out = OnOffOverhead {
+        off: Sample::from_reps(off_walls),
+        on: Sample::from_reps(on_walls),
+        events,
     };
-    let count = |name: &str| report.metrics.count(name).unwrap_or(0) as f64;
+    println!(
+        "host_prof         off {:.3} s -> on {:.3} s   ({:+.2}% overhead, {} reps/side)",
+        out.off.median(),
+        out.on.median(),
+        out.overhead_pct(),
+        out.off.reps()
+    );
+    out
+}
 
-    // Per-op model: generation cost per job; fused TLB+L1 probe cost
-    // per on-chip access; set-scan/evict cost per DRAM-cache miss (the
-    // on-chip walk that precedes it); wheel churn cost per kernel event.
-    let tlb_l1 = count("tlb_accesses") * unit("access_path_combined");
-    let job_gen = count("jobs_total") * unit("job_gen");
-    let miss = count("dram_cache_misses") * unit("miss_walk_loop");
-    let events = report.events_processed as f64 * unit("event_queue_churn");
-    let explained = job_gen + tlb_l1 + miss + events;
-    let remainder = (wall_ns - explained).max(0.0);
+/// Measured self-profile (`--profile`): one fig9 AstriFlash run with a
+/// scope-profiling session attached, printed as the measured scope tree
+/// followed by the attribution table with the legacy counts×unit-cost
+/// estimate side by side (drift column = model error in percentage
+/// points).
+fn run_profile(pairs: &[Pair], smoke: bool) {
+    let (sys, jobs) = overhead_scale(smoke);
+    let m = profile_cell(sys, Configuration::AstriFlash, jobs);
 
-    println!("== coarse self-profile (fig9 AstriFlash, 1 rep) ==");
+    println!("== measured self-profile (fig9 AstriFlash, 1 rep) ==");
     println!(
         "wall {:.3} s, {} events, {} jobs",
-        wall_ns / 1e9,
-        report.events_processed,
-        report.jobs_completed
+        m.wall_ns / 1e9,
+        m.run.events_processed,
+        m.run.jobs_completed
     );
-    let row = |scope: &str, ns: f64| {
-        println!(
-            "{scope:<26} {:>9.1} ms  {:>5.1} %",
-            ns / 1e6,
-            ns / wall_ns * 100.0
-        );
-    };
-    row("job_gen", job_gen);
-    row("tlb+l1 hit path", tlb_l1);
-    row("on-chip miss path", miss);
-    row("event queue", events);
-    row("scheduler + other (rest)", remainder);
+    print!("{}", m.profile.render_tree());
+
+    println!("== measured vs legacy counts x unit-cost estimate ==");
+    let units = UnitCosts::from_pairs(pairs);
+    let rows = profile_rows(&m, &units);
+    print!("{}", render_rows(&m, &rows));
 }
 
 fn num(v: f64) -> String {
@@ -720,11 +336,12 @@ fn render_json(
     cfg: &VarianceConfig,
     pairs: &[Pair],
     cells: &[FigureCell],
-    overhead: &PhaseOverhead,
+    overhead: &OnOffOverhead,
+    host_prof: &OnOffOverhead,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"bench\": \"BENCH_9\",");
+    let _ = writeln!(s, "  \"bench\": \"BENCH_10\",");
     let _ = writeln!(s, "  \"mode\": \"{mode}\",");
     let _ = writeln!(
         s,
@@ -779,7 +396,7 @@ fn render_json(
         s,
         "  \"phase_attribution\": {{\"cell\": \"fig9_astriflash_closed\", \
          \"off_wall_seconds\": {}, \"off_cv\": {}, \"on_wall_seconds\": {}, \
-         \"on_cv\": {}, \"events\": {}, \"reps\": {}, \"overhead_pct\": {}}}",
+         \"on_cv\": {}, \"events\": {}, \"reps\": {}, \"overhead_pct\": {}}},",
         num(overhead.off.median()),
         num4(overhead.off.cv()),
         num(overhead.on.median()),
@@ -787,6 +404,19 @@ fn render_json(
         overhead.events,
         overhead.off.reps(),
         num(overhead.overhead_pct()),
+    );
+    let _ = writeln!(
+        s,
+        "  \"host_prof\": {{\"cell\": \"fig9_astriflash_closed\", \
+         \"off_wall_seconds\": {}, \"off_cv\": {}, \"on_wall_seconds\": {}, \
+         \"on_cv\": {}, \"events\": {}, \"reps\": {}, \"overhead_pct\": {}}}",
+        num(host_prof.off.median()),
+        num4(host_prof.off.cv()),
+        num(host_prof.on.median()),
+        num4(host_prof.on.cv()),
+        host_prof.events,
+        host_prof.off.reps(),
+        num(host_prof.overhead_pct()),
     );
     s.push_str("}\n");
     s
@@ -826,17 +456,20 @@ fn main() -> ExitCode {
     println!("== phase-attribution overhead ({mode}) ==");
     let overhead = run_phase_overhead(&cfg, smoke);
 
-    let out = render_json(mode, &cfg, &pairs, &cells, &overhead);
+    println!("== host-profiler overhead ({mode}) ==");
+    let host_prof = run_host_prof_overhead(&cfg, smoke);
+
+    let out = render_json(mode, &cfg, &pairs, &cells, &overhead, &host_prof);
     if let Err(e) = json::validate(&out) {
-        eprintln!("error: BENCH_9.json failed validation: {e}");
+        eprintln!("error: BENCH_10.json failed validation: {e}");
         return ExitCode::FAILURE;
     }
     if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write("results/BENCH_9.json", &out))
+        .and_then(|()| std::fs::write("results/BENCH_10.json", &out))
     {
-        eprintln!("error: writing results/BENCH_9.json: {e}");
+        eprintln!("error: writing results/BENCH_10.json: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote results/BENCH_9.json ({} bytes)", out.len());
+    println!("wrote results/BENCH_10.json ({} bytes)", out.len());
     ExitCode::SUCCESS
 }

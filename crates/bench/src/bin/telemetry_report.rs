@@ -84,6 +84,9 @@ impl Scale {
 }
 
 fn main() -> ExitCode {
+    // Opt-in host-time self-profile (ASTRIFLASH_PROFILE=tree|folded),
+    // reported on stderr when the process exits.
+    let _prof = astriflash_prof::env_session();
     let opts = HarnessOpts::from_args();
     let scale = Scale::for_opts(&opts);
     let telem = TelemetryCfg::default()

@@ -31,6 +31,9 @@ use astriflash_stats::{CsvDoc, Phase};
 use astriflash_trace::{export, json, EventKind, Tracer};
 
 fn main() -> ExitCode {
+    // Opt-in host-time self-profile (ASTRIFLASH_PROFILE=tree|folded),
+    // reported on stderr when the process exits.
+    let _prof = astriflash_prof::env_session();
     let opts = HarnessOpts::from_args();
     let cell = Cell::closed(
         opts.system_config(),

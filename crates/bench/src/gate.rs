@@ -18,34 +18,61 @@
 //! silently), as is any malformed, non-finite, or non-positive value —
 //! the gate never "passes by parse failure".
 //!
+//! The baseline may additionally pin **overhead ceilings**
+//! (`overhead_ceilings_pct`): each key names a report section (e.g.
+//! `host_prof`) whose `overhead_pct` must stay *at or below* the
+//! pinned percentage. Ceilings are absolute — the headroom for machine
+//! noise is built into the pinned value, not applied as a margin. A
+//! baseline without the section pins no ceilings (older baselines stay
+//! valid); a ceiling naming a section absent from the report is a hard
+//! error, like a missing bench.
+//!
 //! Policy for *raising or lowering* floors lives in DESIGN.md §12.
 
 use astriflash_analyze::dom::{parse, Value};
 
-/// One floor violation: a measured value under its effective floor.
+/// Which direction a pinned bound constrains the measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// Measured must stay at or above the (margin-adjusted) floor.
+    Floor,
+    /// Measured must stay at or below the pinned ceiling.
+    Ceiling,
+}
+
+/// One bound violation: a measured value outside its pinned bound.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Violation {
-    /// Bench or figure-cell name.
+    /// Bench, figure-cell, or overhead-section name.
     pub bench: String,
     /// What was measured.
     pub measured: f64,
-    /// The pinned floor before margin.
+    /// The pinned bound before margin.
     pub floor: f64,
-    /// The effective floor after the noise margin.
+    /// The effective bound after the noise margin (ceilings carry no
+    /// margin, so this equals `floor` for them).
     pub effective_floor: f64,
+    /// Whether the bound is a floor or a ceiling.
+    pub kind: BoundKind,
 }
 
 impl Violation {
     /// One log line naming the offending ratio, printed by the gate bin.
     pub fn render(&self) -> String {
-        format!(
-            "FAIL {}: measured {:.3} < effective floor {:.3} (pinned {:.3}, measured/pinned = {:.3})",
-            self.bench,
-            self.measured,
-            self.effective_floor,
-            self.floor,
-            self.measured / self.floor,
-        )
+        match self.kind {
+            BoundKind::Floor => format!(
+                "FAIL {}: measured {:.3} < effective floor {:.3} (pinned {:.3}, measured/pinned = {:.3})",
+                self.bench,
+                self.measured,
+                self.effective_floor,
+                self.floor,
+                self.measured / self.floor,
+            ),
+            BoundKind::Ceiling => format!(
+                "FAIL {}: measured overhead {:.2}% > pinned ceiling {:.2}%",
+                self.bench, self.measured, self.floor,
+            ),
+        }
     }
 }
 
@@ -97,6 +124,27 @@ fn finite_positive(obj: &Value, key: &str, ctx: &str) -> Result<f64, GateError> 
     if !v.is_finite() || v <= 0.0 {
         return Err(err(format!(
             "{ctx}: field {key:?} = {text:?} is not a finite positive number"
+        )));
+    }
+    Ok(v)
+}
+
+/// Extracts any finite number from `obj[key]` — overheads may
+/// legitimately measure negative (noise around zero), so this only
+/// rejects missing, non-numeric, or non-finite values.
+fn finite_number(obj: &Value, key: &str, ctx: &str) -> Result<f64, GateError> {
+    let raw = obj
+        .get(key)
+        .ok_or_else(|| err(format!("{ctx}: missing field {key:?}")))?;
+    let text = raw
+        .as_num()
+        .ok_or_else(|| err(format!("{ctx}: field {key:?} is not a number")))?;
+    let v: f64 = text
+        .parse()
+        .map_err(|_| err(format!("{ctx}: field {key:?} = {text:?} does not parse")))?;
+    if !v.is_finite() {
+        return Err(err(format!(
+            "{ctx}: field {key:?} = {text:?} is not a finite number"
         )));
     }
     Ok(v)
@@ -174,6 +222,19 @@ pub fn gate(bench_json: &str, baseline_json: &str) -> Result<GateReport, GateErr
         let measured = finite_positive(entry, "events_per_sec", &format!("figure cell {name:?}"))?;
         check(&mut out, name, measured, *floor, throughput_margin, " events/s");
     }
+    // Optional: overhead ceilings. Absent section = nothing pinned.
+    if baseline.get("overhead_ceilings_pct").is_some() {
+        for (name, ceiling) in floors(&baseline, "overhead_ceilings_pct")? {
+            let section = bench.get(&name).ok_or_else(|| {
+                err(format!(
+                    "bench report: section {name:?} named in the baseline's overhead ceilings is missing"
+                ))
+            })?;
+            let measured =
+                finite_number(section, "overhead_pct", &format!("section {name:?}"))?;
+            check_ceiling(&mut out, &name, measured, ceiling);
+        }
+    }
     Ok(out)
 }
 
@@ -213,6 +274,13 @@ pub fn write_baseline(
     let throughput_margin = margin(&old, "throughput_margin")?;
     let old_ratio_floors = floors(&old, "ratio_floors")?;
     let old_rate_floors = floors(&old, "events_per_sec_floors")?;
+    // Ceilings are policy numbers, not measurements: carry them over
+    // unchanged (moving one is a deliberate, explained edit).
+    let ceilings = if old.get("overhead_ceilings_pct").is_some() {
+        floors(&old, "overhead_ceilings_pct")?
+    } else {
+        Vec::new()
+    };
     let old_floor = |set: &[(String, f64)], name: &str| -> Option<f64> {
         set.iter().find(|(n, _)| n == name).map(|&(_, f)| f)
     };
@@ -298,7 +366,17 @@ pub fn write_baseline(
         let sep = if i + 1 < rate_floors.len() { "," } else { "" };
         out.push_str(&format!("    \"{name}\": {f:.0}{sep}\n"));
     }
-    out.push_str("  }\n");
+    if ceilings.is_empty() {
+        out.push_str("  }\n");
+    } else {
+        out.push_str("  },\n");
+        out.push_str("  \"overhead_ceilings_pct\": {\n");
+        for (i, (name, c)) in ceilings.iter().enumerate() {
+            let sep = if i + 1 < ceilings.len() { "," } else { "" };
+            out.push_str(&format!("    \"{name}\": {c:.1}{sep}\n"));
+        }
+        out.push_str("  }\n");
+    }
     out.push_str("}\n");
     Ok(out)
 }
@@ -316,6 +394,24 @@ fn check(out: &mut GateReport, name: &str, measured: f64, floor: f64, margin: f6
             measured,
             floor,
             effective_floor: effective,
+            kind: BoundKind::Floor,
+        });
+    }
+}
+
+fn check_ceiling(out: &mut GateReport, name: &str, measured: f64, ceiling: f64) {
+    out.checks.push(format!(
+        "{} {}: measured overhead {measured:.2}% vs ceiling {ceiling:.2}%",
+        if measured <= ceiling { "ok  " } else { "FAIL" },
+        name,
+    ));
+    if measured > ceiling {
+        out.violations.push(Violation {
+            bench: name.to_owned(),
+            measured,
+            floor: ceiling,
+            effective_floor: ceiling,
+            kind: BoundKind::Ceiling,
         });
     }
 }
@@ -499,6 +595,80 @@ mod tests {
         assert!(write_baseline(empty, &baseline(), false, "d").is_err());
         assert!(write_baseline(&bench(r#""NaN""#, "170000"), &baseline(), false, "d").is_err());
         assert!(write_baseline("{not json", &baseline(), false, "d").is_err());
+    }
+
+    fn baseline_with_ceiling(ceiling: &str) -> String {
+        baseline().replacen(
+            "\"ratio_margin\"",
+            &format!("\"overhead_ceilings_pct\": {{\"host_prof\": {ceiling}}},\n            \"ratio_margin\""),
+            1,
+        )
+    }
+
+    fn bench_with_overhead(pct: &str) -> String {
+        let b = bench("4.5", "170000");
+        format!(
+            "{},\n \"host_prof\": {{\"overhead_pct\": {pct}}}}}",
+            b.trim_end().trim_end_matches('}')
+        )
+    }
+
+    #[test]
+    fn overhead_under_the_ceiling_passes() {
+        let r = gate(&bench_with_overhead("12.5"), &baseline_with_ceiling("25.0"))
+            .expect("well-formed");
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        assert_eq!(r.checks.len(), 3);
+        assert!(r.checks.iter().any(|c| c.contains("host_prof")));
+    }
+
+    #[test]
+    fn negative_overhead_is_noise_not_an_error() {
+        let r = gate(&bench_with_overhead("-0.8"), &baseline_with_ceiling("25.0"))
+            .expect("well-formed");
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn overhead_over_the_ceiling_fails() {
+        let r = gate(&bench_with_overhead("31.2"), &baseline_with_ceiling("25.0"))
+            .expect("well-formed");
+        assert!(!r.passed());
+        let v = &r.violations[0];
+        assert_eq!(v.bench, "host_prof");
+        assert_eq!(v.kind, BoundKind::Ceiling);
+        assert!(v.render().contains("ceiling"), "{}", v.render());
+    }
+
+    #[test]
+    fn ceiling_naming_a_missing_section_is_a_hard_error() {
+        let e = gate(&bench("4.5", "170000"), &baseline_with_ceiling("25.0"))
+            .expect_err("section absent from report");
+        assert!(e.0.contains("host_prof"), "{e}");
+    }
+
+    #[test]
+    fn baseline_without_ceilings_pins_none() {
+        // The pre-ceiling baseline shape still gates exactly as before.
+        let r = gate(&bench_with_overhead("99.0"), &baseline()).expect("well-formed");
+        assert!(r.passed());
+        assert_eq!(r.checks.len(), 2);
+    }
+
+    #[test]
+    fn write_baseline_carries_ceilings_over_unchanged() {
+        let new = write_baseline(
+            &bench("4.5", "250000"),
+            &baseline_with_ceiling("25.0"),
+            false,
+            "2026-01-02",
+        )
+        .expect("well-formed");
+        assert!(new.contains("\"overhead_ceilings_pct\""), "{new}");
+        assert!(new.contains("\"host_prof\": 25.0"), "{new}");
+        // And the written baseline still parses through the gate.
+        let r = gate(&bench_with_overhead("10.0"), &new).expect("round-trips");
+        assert!(r.passed(), "violations: {:?}", r.violations);
     }
 
     #[test]

@@ -7,6 +7,8 @@
 
 pub mod gate;
 pub mod harness;
+pub mod micro;
+pub mod selfprofile;
 pub mod timing;
 
 use astriflash_core::config::SystemConfig;

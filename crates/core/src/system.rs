@@ -30,6 +30,7 @@ use astriflash_mem::{
     HierarchyOutcome, LevelTotals, ProbeOutcome, Waiter,
 };
 use astriflash_os::{PageTableWalker, Tlb};
+use astriflash_prof::{scope as prof_scope, Scope as ProfScope};
 use astriflash_sim::{EventQueue, PageMap, SimDuration, SimRng, SimTime};
 use astriflash_stats::{Histogram, OnlineStats, Phase, PhaseSet};
 use astriflash_trace::{Track, Tracer};
@@ -726,6 +727,7 @@ impl SystemSim {
     }
 
     fn event_loop(&mut self) {
+        let _prof = prof_scope(ProfScope::EventLoop);
         while !self.stopped {
             let Some((now, event)) = self.queue.pop() else {
                 break;
@@ -735,13 +737,23 @@ impl SystemSim {
             }
             match event {
                 Event::Resume { core } => {
+                    let _prof = prof_scope(ProfScope::EvResume);
                     let core = core as usize;
                     self.cores[core].resume_pending = false;
                     self.run_core(core);
                 }
-                Event::PageArrived { page } => self.on_page_arrived(page),
-                Event::Arrival { core } => self.on_arrival(core as usize),
-                Event::Sample => self.on_sample(),
+                Event::PageArrived { page } => {
+                    let _prof = prof_scope(ProfScope::EvPageArrived);
+                    self.on_page_arrived(page);
+                }
+                Event::Arrival { core } => {
+                    let _prof = prof_scope(ProfScope::EvArrival);
+                    self.on_arrival(core as usize);
+                }
+                Event::Sample => {
+                    let _prof = prof_scope(ProfScope::EvSample);
+                    self.on_sample();
+                }
             }
         }
     }
@@ -854,6 +866,7 @@ impl SystemSim {
     }
 
     fn on_page_arrived(&mut self, page: u64) {
+        let install_prof = prof_scope(ProfScope::Install);
         let now = self.queue.now();
         let bitmap = self.inflight_footprints.remove(page).unwrap_or(u64::MAX);
         if self.tracer.enabled() {
@@ -879,6 +892,8 @@ impl SystemSim {
             // tracks the program + any GC it triggers.
             self.flash.write(installed_at, victim);
         }
+        drop(install_prof);
+        let _prof = prof_scope(ProfScope::WakeWaiters);
         for &w in &waiters {
             let core = w.core as usize;
             let thread = w.thread as usize;
@@ -974,6 +989,7 @@ impl SystemSim {
 
     /// Scheduler invocation; returns whether a thread is now running.
     fn pick_next(&mut self, core_id: usize, now: SimTime, after_miss: bool) -> bool {
+        let _prof = prof_scope(ProfScope::SchedulerPick);
         let closed = self.closed_loop;
         let core = &mut self.cores[core_id];
         // Read the queue pair before deciding (§IV-D2): arrived pages
@@ -993,7 +1009,10 @@ impl SystemSim {
                 // Fill a recycled arena slot in place — no per-job
                 // allocation at steady state (DESIGN.md §14).
                 let job_slot = core.arena.alloc();
-                self.engine.fill_job(core.arena.buf_mut(job_slot), &mut self.rng);
+                {
+                    let _prof = prof_scope(ProfScope::FillJob);
+                    self.engine.fill_job(core.arena.buf_mut(job_slot), &mut self.rng);
+                }
                 core.threads[slot] = Some(Thread {
                     job_slot,
                     op_idx: 0,
@@ -1194,6 +1213,7 @@ impl SystemSim {
     }
 
     fn complete_job(&mut self, core_id: usize, slot: usize, t: SimTime) {
+        let _prof = prof_scope(ProfScope::CompleteJob);
         let th = self.cores[core_id].threads[slot]
             .take()
             .expect("completing thread");
@@ -1251,6 +1271,7 @@ impl SystemSim {
         access: MemoryAccess,
         mut t: SimTime,
     ) -> AccessResult {
+        let _prof = prof_scope(ProfScope::DoAccess);
         let MemoryAccess {
             addr,
             vpn,
@@ -1317,6 +1338,7 @@ impl SystemSim {
         t: SimTime,
         slice_start: SimTime,
     ) -> AccessResult {
+        let _prof = prof_scope(ProfScope::AccessRun);
         debug_assert!(run_len > 0, "zero-length spans never reach the run step");
         let timing = self.cores[core_id].timing;
         let per = timing.effective_stall_ns(self.hierarchy.config().l1_latency_ns);
@@ -1530,6 +1552,7 @@ impl SystemSim {
         access: MemoryAccess,
         t: SimTime,
     ) -> AccessResult {
+        let _prof = prof_scope(ProfScope::MissPath);
         let MemoryAccess {
             addr,
             vpn: page,
@@ -1568,7 +1591,11 @@ impl SystemSim {
             core: core_id as u32,
             thread: slot as u32,
         };
-        match self.bc.admit(t, page, waiter, &mut self.dram_cache) {
+        let admission = {
+            let _prof = prof_scope(ProfScope::MsrAdmit);
+            self.bc.admit(t, page, waiter, &mut self.dram_cache)
+        };
+        match admission {
             BcAdmission::Duplicate { resolved_at } => {
                 // Read already in flight; the miss coalesces onto it.
                 if self.phase_attr {
@@ -1581,7 +1608,10 @@ impl SystemSim {
             BcAdmission::IssueFlashRead { issue_at } => {
                 let bitmap = self.dram_cache.predict_footprint(page, access.block);
                 let bytes = bitmap.count_ones() as u64 * 64;
-                let timing = self.flash.read_bytes_timed(issue_at, page, bytes);
+                let timing = {
+                    let _prof = prof_scope(ProfScope::FlashIssue);
+                    self.flash.read_bytes_timed(issue_at, page, bytes)
+                };
                 let done = timing.done;
                 if self.phase_attr {
                     let attr = &mut self.cores[core_id].cold[slot].attr;
@@ -1747,6 +1777,7 @@ impl SystemSim {
         vpn: u64,
         mut t: SimTime,
     ) -> WalkResult {
+        let _prof = prof_scope(ProfScope::PtWalk);
         let no_dp = self.configuration == Configuration::AstriFlashNoDP;
         let timing = self.cores[core_id].timing;
         for pte_addr in self.walker.walk_addresses(vpn) {

@@ -1,0 +1,93 @@
+//! Pins the zero-steady-state-allocation claim (DESIGN.md §14) with the
+//! counting allocator instead of code inspection.
+//!
+//! Differential shape: two closed-loop runs with the same seed and config
+//! differ only in their job target, so the longer run's extra work is pure
+//! steady state. If the job pipeline and event queue truly stop allocating
+//! once warm, every hot scope's allocation counters must be *exactly* equal
+//! across the two runs — any hot-path allocation that sneaks back in makes
+//! the longer run allocate more and fails the assert.
+
+#[global_allocator]
+static ALLOC: astriflash_prof::CountingAlloc = astriflash_prof::CountingAlloc;
+
+use astriflash_core::config::{Configuration, SystemConfig};
+use astriflash_core::experiment::Experiment;
+use astriflash_prof::Scope;
+
+/// Scopes where the §14 claim is *strict*: doubling the work must change
+/// nothing — not one allocation, not one byte. `scheduler_pick` is in this
+/// set because `NotificationQueue::drain` drains the ring in place.
+const STRICT_SCOPES: [Scope; 6] = [
+    Scope::SchedulerPick,
+    Scope::CompleteJob,
+    Scope::DoAccess,
+    Scope::AccessRun,
+    Scope::PtWalk,
+    Scope::MsrAdmit,
+];
+
+/// Scopes whose buffers ratchet to a high-water mark: a job larger than
+/// every predecessor grows its recycled arena slot, and a wheel cascade
+/// can re-file into a slot at record occupancy. Growth is amortized-zero
+/// (bounded by the high-water mark, never per-op), so the differential
+/// check bounds the *extra* allocations instead of demanding equality.
+const RATCHET_SCOPES: [(Scope, u64); 2] = [(Scope::FillJob, 16), (Scope::QueueCascade, 32)];
+
+fn hot_allocs(jobs_per_core: u64) -> astriflash_prof::Report {
+    let prepared = Experiment::new(
+        SystemConfig::default().with_cores(2).scaled_for_tests(),
+        Configuration::AstriFlash,
+    )
+    .seed(9)
+    .jobs_per_core(jobs_per_core)
+    .prepare();
+    // The session opens after prepare() so construction and DRAM prewarm
+    // are excluded: only the run itself is attributed.
+    let session = astriflash_prof::begin();
+    let report = prepared.run();
+    assert!(report.jobs_completed >= jobs_per_core);
+    session.finish()
+}
+
+#[test]
+fn hot_paths_do_not_allocate_at_steady_state() {
+    let short = hot_allocs(50);
+    let long = hot_allocs(100);
+    // Warm-up growth (arena buffers, wheel slots reaching capacity) is
+    // identical in both runs — same seed, same config, so the short run is
+    // a prefix of the long one. Equality therefore means the doubled
+    // steady-state portion allocated nothing.
+    for scope in STRICT_SCOPES {
+        let (s, l) = (short.totals(scope), long.totals(scope));
+        assert_eq!(
+            (s.alloc_calls, s.alloc_bytes),
+            (l.alloc_calls, l.alloc_bytes),
+            "steady-state allocation regression in {:?}: doubling the job \
+             target changed its (alloc_calls, alloc_bytes)",
+            scope.name()
+        );
+    }
+    // Ratchet scopes: the doubled workload may push a buffer to a new
+    // high-water mark a handful of times, but never once per job/event —
+    // a per-op allocation would add hundreds of calls here, not single
+    // digits.
+    for (scope, slack) in RATCHET_SCOPES {
+        let (s, l) = (short.totals(scope), long.totals(scope));
+        assert!(
+            l.alloc_calls <= s.alloc_calls + slack,
+            "{:?} allocated per-op, not per-high-water-mark: {} -> {} calls \
+             when the job target doubled (slack {})",
+            scope.name(),
+            s.alloc_calls,
+            l.alloc_calls,
+            slack
+        );
+    }
+    // Sanity: the counting allocator is live — the warm-up portion of the
+    // job pipeline must have allocated something (first-use arena growth).
+    assert!(
+        short.totals(Scope::FillJob).alloc_calls > 0,
+        "no allocations attributed at all: is the counting allocator installed?"
+    );
+}

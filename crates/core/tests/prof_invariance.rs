@@ -1,0 +1,88 @@
+//! The host-side profiler must never change a `RunReport`.
+//!
+//! The profiler reads the host monotonic clock on scope enter/exit; nothing
+//! it observes may feed back into simulation decisions. These tests mirror
+//! `tracing_does_not_perturb_the_run`: the same experiment with profiling
+//! attached must produce byte-identical results — every float compared by
+//! bit pattern, the full rendered report compared as a string.
+
+use astriflash_core::config::{Configuration, SystemConfig};
+use astriflash_core::experiment::{Experiment, RunReport};
+use astriflash_prof::Scope;
+
+fn run(config: Configuration) -> RunReport {
+    Experiment::new(
+        SystemConfig::default().with_cores(2).scaled_for_tests(),
+        config,
+    )
+    .seed(7)
+    .jobs_per_core(40)
+    .run()
+}
+
+fn assert_reports_identical(plain: &RunReport, profiled: &RunReport) {
+    assert_eq!(plain.jobs_completed, profiled.jobs_completed);
+    assert_eq!(plain.events_processed, profiled.events_processed);
+    assert_eq!(
+        plain.measured_seconds.to_bits(),
+        profiled.measured_seconds.to_bits()
+    );
+    assert_eq!(
+        plain.throughput_jobs_per_sec.to_bits(),
+        profiled.throughput_jobs_per_sec.to_bits()
+    );
+    assert_eq!(
+        plain.mean_service_ns.to_bits(),
+        profiled.mean_service_ns.to_bits()
+    );
+    assert_eq!(plain.render(), profiled.render());
+}
+
+#[test]
+fn profiling_does_not_perturb_the_run() {
+    for config in [
+        Configuration::AstriFlash,
+        Configuration::OsSwap,
+        Configuration::FlashSync,
+    ] {
+        let plain = run(config);
+        let session = astriflash_prof::begin();
+        let profiled = run(config);
+        let report = session.finish();
+        assert_reports_identical(&plain, &profiled);
+        // The profile itself must be non-trivial: the hot scopes fired.
+        assert!(report.totals(Scope::EventLoop).calls >= 1);
+        assert!(report.totals(Scope::FillJob).calls >= plain.jobs_completed);
+        assert!(report.totals(Scope::MissPath).calls > 0, "{config:?}");
+        let rerun = run(config);
+        assert_reports_identical(&plain, &rerun);
+    }
+}
+
+#[test]
+fn profiling_a_prepared_run_changes_nothing() {
+    let cfg = SystemConfig::default().with_cores(2).scaled_for_tests();
+    let plain = Experiment::new(cfg.clone(), Configuration::AstriFlash)
+        .seed(11)
+        .jobs_per_core(30)
+        .prepare()
+        .run();
+    let prepared = Experiment::new(cfg, Configuration::AstriFlash)
+        .seed(11)
+        .jobs_per_core(30)
+        .prepare();
+    let session = astriflash_prof::begin();
+    let profiled = prepared.run();
+    let report = session.finish();
+    assert_reports_identical(&plain, &profiled);
+    // With the session opened after prepare(), the DRAM prewarm's
+    // fill_job calls are excluded: every counted call started in the run.
+    assert_eq!(
+        report.totals(Scope::EvResume).calls
+            + report.totals(Scope::EvPageArrived).calls
+            + report.totals(Scope::EvArrival).calls
+            + report.totals(Scope::EvSample).calls,
+        profiled.events_processed,
+        "per-event scopes must tile the event loop exactly"
+    );
+}

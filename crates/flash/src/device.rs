@@ -382,6 +382,7 @@ impl FlashDevice {
         if !self.cfg.gc_enabled {
             return;
         }
+        let _prof = astriflash_prof::scope(astriflash_prof::Scope::FlashGc);
         let min_free = ((self.planes[plane_idx].num_blocks() as f64
             * self.cfg.gc_free_block_threshold) as usize)
             .max(1);

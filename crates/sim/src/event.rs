@@ -186,6 +186,7 @@ impl<E> EventQueue<E> {
     /// Caller guarantees `pending > 0` and `ready` is empty.
     fn drain_slot(&mut self) {
         debug_assert!(self.ready.is_empty() && self.pending > 0);
+        let _prof = astriflash_prof::scope(astriflash_prof::Scope::QueueCascade);
         loop {
             let candidate = self.next_candidate();
             // An overflow event may have become due before everything in

@@ -22,6 +22,32 @@ pub fn perfetto_json(events: &[TraceEvent]) -> String {
     perfetto_json_with_meta(events, 0)
 }
 
+/// [`perfetto_json_with_meta`] plus caller-supplied extra trace-event
+/// objects appended to the `traceEvents` array — the merge point for
+/// sibling producers (e.g. `astriflash-prof`'s host-profile tracks,
+/// which render under their own `pid` so they sit alongside the
+/// simulation's tracks in one timeline). Each `extra` string must be a
+/// complete JSON object; the result still passes
+/// [`crate::json::validate`].
+pub fn perfetto_json_with_extra(events: &[TraceEvent], dropped: u64, extra: &[String]) -> String {
+    let mut out = perfetto_json_with_meta(events, dropped);
+    if extra.is_empty() {
+        return out;
+    }
+    // The document ends "…\n]}\n"; splice before the array close. An
+    // empty event list still renders the metadata object, so a comma is
+    // always correct.
+    let tail = "\n]}\n";
+    debug_assert!(out.ends_with(tail));
+    out.truncate(out.len() - tail.len());
+    for obj in extra {
+        out.push_str(",\n");
+        out.push_str(obj);
+    }
+    out.push_str(tail);
+    out
+}
+
 /// [`perfetto_json`] plus ring-overflow metadata: `dropped` (from
 /// [`crate::Tracer::dropped`]) is emitted as a top-level
 /// `"droppedEvents"` key so a sheared trace is detectable from the
@@ -239,6 +265,27 @@ mod tests {
         let json = perfetto_json(&[]);
         validate(&json).unwrap();
         assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn extra_objects_splice_into_the_event_array() {
+        let extra = vec![
+            "{\"ph\":\"M\",\"pid\":2,\"name\":\"process_name\",\"args\":{\"name\":\"host-prof\"}}"
+                .to_string(),
+            "{\"ph\":\"X\",\"pid\":2,\"tid\":1,\"name\":\"event_loop\",\"ts\":0.000,\"dur\":5.000}"
+                .to_string(),
+        ];
+        for events in [sample_events(), Vec::new()] {
+            let json = perfetto_json_with_extra(&events, 3, &extra);
+            validate(&json).expect("merged export must stay valid JSON");
+            assert!(json.contains("host-prof"), "{json}");
+            assert!(json.contains("\"droppedEvents\":3"), "{json}");
+        }
+        // No extras = byte-identical to the plain exporter.
+        assert_eq!(
+            perfetto_json_with_extra(&sample_events(), 0, &[]),
+            perfetto_json(&sample_events())
+        );
     }
 
     #[test]

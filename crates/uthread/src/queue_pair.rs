@@ -31,7 +31,7 @@ pub struct Completion {
 /// use astriflash_uthread::queue_pair::{Completion, NotificationQueue};
 /// let mut q = NotificationQueue::new(4);
 /// q.push(Completion { thread: 1, page: 42 });
-/// assert_eq!(q.drain().len(), 1);
+/// assert_eq!(q.drain().count(), 1);
 /// ```
 #[derive(Debug)]
 pub struct NotificationQueue {
@@ -70,9 +70,11 @@ impl NotificationQueue {
     }
 
     /// Consumes every pending completion (the scheduler's read at a
-    /// decision point).
-    pub fn drain(&mut self) -> Vec<Completion> {
-        self.ring.drain(..).collect()
+    /// decision point). Drains in place: the ring's capacity is reused, so
+    /// a decision point never allocates (pinned by the counting-allocator
+    /// regression test in `astriflash-core`).
+    pub fn drain(&mut self) -> impl Iterator<Item = Completion> + '_ {
+        self.ring.drain(..)
     }
 
     /// Entries currently pending.
@@ -110,7 +112,7 @@ mod tests {
             }));
         }
         assert_eq!(q.len(), 5);
-        let drained = q.drain();
+        let drained: Vec<Completion> = q.drain().collect();
         assert_eq!(drained.len(), 5);
         assert_eq!(drained[0].thread, 0);
         assert_eq!(drained[4].page, 40);
@@ -125,7 +127,7 @@ mod tests {
         assert!(q.push(Completion { thread: 1, page: 1 }));
         assert!(!q.push(Completion { thread: 2, page: 2 }));
         assert_eq!(q.dropped(), 1);
-        assert_eq!(q.drain().len(), 2);
+        assert_eq!(q.drain().count(), 2);
         // Space frees after the drain.
         assert!(q.push(Completion { thread: 3, page: 3 }));
     }

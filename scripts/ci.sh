@@ -56,15 +56,29 @@ cargo run --release -q -p astriflash-bench --bin latency_breakdown -- --quick
 test -s results/latency_breakdown.txt
 test -s results/latency_breakdown.csv
 
+echo "==> profile_report smoke (host-side scope profiles + merged trace)"
+# Per-system measured scope trees, folded stacks, and Perfetto flames
+# (DESIGN.md §16). The binary validates every JSON artifact in-process
+# (same RFC 8259 recognizer as the trace lane) and exits non-zero on
+# any failure; here we re-check the artifacts landed and are non-empty.
+cargo run --release -q -p astriflash-bench --bin profile_report -- --quick
+for sys in astriflash os_swap flash_sync; do
+  test -s "results/profile_${sys}.txt"
+  test -s "results/profile_${sys}.folded"
+  test -s "results/profile_${sys}.perfetto.json"
+done
+test -s results/profile_trace.json
+
 echo "==> perf lane: perf_report (full, release) + perf_gate"
 # Variance-controlled measurement (DESIGN.md §12): warmup-discard,
 # adaptive reps to a CV target, medians + baseline-relative ratios into
-# results/BENCH_9.json. perf_gate then checks every pinned floor in
-# results/perf_baseline.json (with its explicit noise margins) and
-# exits non-zero on any violation, printing the offending ratios —
-# perf regressions are un-mergeable, not merely recorded.
+# results/BENCH_10.json. perf_gate then checks every pinned floor in
+# results/perf_baseline.json (with its explicit noise margins) and the
+# host-profiler overhead ceiling (DESIGN.md §16), exiting non-zero on
+# any violation, printing the offenders — perf regressions are
+# un-mergeable, not merely recorded.
 cargo run --release -q -p astriflash-bench --bin perf_report
-test -s results/BENCH_9.json
+test -s results/BENCH_10.json
 cargo run --release -q -p astriflash-bench --bin perf_gate
 
 echo "CI green."

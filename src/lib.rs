@@ -21,6 +21,7 @@ pub use astriflash_cpu as cpu;
 pub use astriflash_flash as flash;
 pub use astriflash_mem as mem;
 pub use astriflash_os as os;
+pub use astriflash_prof as prof;
 pub use astriflash_sim as sim;
 pub use astriflash_stats as stats;
 pub use astriflash_trace as trace;
